@@ -1,0 +1,112 @@
+// Command lapsim runs the paper-reproduction experiments and prints
+// their tables (ASCII by default, CSV with -csv).
+//
+// Usage:
+//
+//	lapsim -exp fig7                 # one experiment
+//	lapsim -exp all -duration 500ms  # everything, longer window
+//	lapsim -list                     # available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"laps/internal/exp"
+	"laps/internal/plot"
+	"laps/internal/sim"
+)
+
+func main() {
+	var (
+		name     = flag.String("exp", "all", "experiment name or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		dur      = flag.Duration("duration", 200*time.Millisecond, "simulated traffic window per scenario")
+		modelSec = flag.Float64("model-seconds", 60, "seconds of Holt-Winters dynamics the window sweeps")
+		cores    = flag.Int("cores", 16, "number of processor cores")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
+		packets  = flag.Int("stream-packets", 400000, "packets per trace for detector experiments")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of aligned tables")
+		outPath  = flag.String("o", "", "write results to a file instead of stdout")
+		svgDir   = flag.String("svg", "", "also render each table as an SVG chart into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range exp.Names() {
+			fmt.Printf("%-10s %s\n", n, exp.Registry()[n].Brief)
+		}
+		return
+	}
+
+	opts := exp.Options{
+		Duration:      sim.Time(dur.Nanoseconds()),
+		ModelSeconds:  *modelSec,
+		Cores:         *cores,
+		Seed:          *seed,
+		Workers:       *workers,
+		StreamPackets: *packets,
+	}
+
+	start := time.Now()
+	var tables []exp.Table
+	if *name == "all" {
+		tables = exp.RunAll(opts)
+	} else {
+		var err error
+		tables, err = exp.Run(*name, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i := range tables {
+			svg, err := plot.Auto(tables[i].Title, tables[i].Columns, tables[i].Rows, plot.Options{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "svg: skipping %q: %v\n", tables[i].Title, err)
+				continue
+			}
+			path := filepath.Join(*svgDir, fmt.Sprintf("table-%02d.svg", i+1))
+			if err := os.WriteFile(path, svg, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	for i := range tables {
+		switch {
+		case *jsonOut:
+			if err := tables[i].JSON(out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		case *csv:
+			tables[i].CSV(out)
+			fmt.Fprintln(out)
+		default:
+			tables[i].Fprint(out)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,57 @@
+// Elephants: standalone heavy-hitter detection with the Aggressive Flow
+// Detector. Streams a synthetic backbone trace through the two-level
+// AFC+annex structure and compares what it caught against exact offline
+// per-flow counts — the measurement the paper's Fig 8 is built on.
+//
+// Run with: go run ./examples/elephants
+package main
+
+import (
+	"fmt"
+
+	"laps"
+)
+
+func main() {
+	const packets = 500000
+
+	fmt.Println("annex   detected  true-pos  false-pos   FPR    recall")
+	for _, annex := range []int{64, 256, 512, 1024} {
+		det := laps.NewDetector(laps.DetectorConfig{
+			AFCSize:   16,
+			AnnexSize: annex,
+			Seed:      1,
+		})
+		truth := laps.NewExactCounter()
+		src := laps.CAIDATrace(1)
+		for i := 0; i < packets; i++ {
+			rec, _ := src.Next()
+			det.Observe(rec.Flow)
+			truth.Observe(rec.Flow)
+		}
+		acc := laps.EvaluateDetector(det.Aggressive(), truth, 16)
+		fmt.Printf("%5d   %8d  %8d  %9d  %5.3f  %6.3f\n",
+			annex, acc.Detected, acc.TruePositives, acc.FalsePositives, acc.FPR, acc.Recall)
+	}
+
+	// Show the flows the full-size detector believes are aggressive,
+	// annotated with their true packet counts.
+	det := laps.NewDetector(laps.DetectorConfig{Seed: 1})
+	truth := laps.NewExactCounter()
+	src := laps.CAIDATrace(1)
+	for i := 0; i < packets; i++ {
+		rec, _ := src.Next()
+		det.Observe(rec.Flow)
+		truth.Observe(rec.Flow)
+	}
+	fmt.Println("\ncurrent AFC contents (hottest last):")
+	for _, f := range det.Aggressive() {
+		fmt.Printf("  %-44v %7d packets\n", f, truth.Count(f))
+	}
+	st := det.Stats()
+	fmt.Printf("\ndetector activity: %d observed, %d AFC hits, %d annex hits, "+
+		"%d misses, %d promotions, %d demotions\n",
+		st.Observed, st.AFCHits, st.AnnexHits, st.Misses, st.Promotions, st.Demotions)
+	fmt.Println("a 16-entry fully-associative cache — no per-flow state — finds the")
+	fmt.Println("top elephants because the annex filters out one-hit mice first.")
+}

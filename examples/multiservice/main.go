@@ -1,0 +1,61 @@
+// Multiservice: the paper's headline scenario. Four router services
+// (VPN-out, IP forwarding, malware scan, VPN-in) share 16 cores while
+// their offered loads swing with Holt-Winters seasonality. LAPS
+// partitions the cores per service (I-cache locality) and re-allocates
+// them dynamically as demand shifts; FCFS and AFS mix services on every
+// core and drown in cold-cache penalties.
+//
+// Run with: go run ./examples/multiservice
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"laps"
+)
+
+func main() {
+	// Seasonal per-service rates (Mpps) roughly shaped like Table IV's
+	// Set 1, scaled to ~75% of this configuration's capacity.
+	params := map[laps.ServiceID]laps.RateParams{
+		laps.SvcVPNOut:      {A: 0.28, C: 0.12, Period: 0.004, Sigma: 0.02},
+		laps.SvcIPForward:   {A: 2.4, C: 0.4, Period: 0.0025, Sigma: 0.05},
+		laps.SvcMalwareScan: {A: 0.35, C: 0.15, Period: 0.006, Sigma: 0.03},
+		laps.SvcVPNIn:       {A: 0.16, C: 0.07, Period: 0.01, Sigma: 0.02},
+	}
+	mkTraffic := func() []laps.ServiceTraffic {
+		return []laps.ServiceTraffic{
+			{Service: laps.SvcVPNOut, Params: params[laps.SvcVPNOut], Trace: laps.CAIDATrace(1)},
+			{Service: laps.SvcIPForward, Params: params[laps.SvcIPForward], Trace: laps.CAIDATrace(2)},
+			{Service: laps.SvcMalwareScan, Params: params[laps.SvcMalwareScan], Trace: laps.AucklandTrace(1)},
+			{Service: laps.SvcVPNIn, Params: params[laps.SvcVPNIn], Trace: laps.AucklandTrace(2)},
+		}
+	}
+
+	fmt.Println("scheduler   drop%    cold-cache%   out-of-order%")
+	for _, kind := range []laps.SchedulerKind{laps.FCFS, laps.AFS, laps.LAPS} {
+		res, err := laps.Simulate(laps.SimConfig{
+			Scheduler: kind,
+			Duration:  30 * laps.Millisecond,
+			Seed:      7,
+			Traffic:   mkTraffic(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m := res.Metrics
+		fmt.Printf("%-10s  %6.2f%%  %10.2f%%  %12.3f%%\n",
+			kind, 100*m.DropRate(), 100*m.ColdCacheRate(), 100*m.OOORate())
+		if res.LapsStats != nil {
+			s := res.LapsStats
+			fmt.Printf("            laps control plane: %d migrations, %d core grants "+
+				"(%d requests), %d surplus marks\n",
+				s.Migrations, s.CoreGrants, s.CoreRequests, s.SurplusMarks)
+		}
+	}
+	fmt.Println("\nFCFS/AFS schedule any service on any core: every service switch")
+	fmt.Println("refills the 16KB I-cache (10 µs). LAPS gives each service its own")
+	fmt.Println("cores, so cold caches almost vanish and capacity nearly doubles.")
+}

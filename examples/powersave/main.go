@@ -1,0 +1,56 @@
+// Powersave: how much energy core gating can harvest under each
+// scheduler. The paper motivates traffic-aware power management (its
+// refs [20],[29]); LAPS's per-service core partitioning concentrates
+// idleness onto whole surplus cores, exactly what power gating needs,
+// while FCFS/AFS fragment idleness into ungateable slivers.
+//
+// Run with: go run ./examples/powersave
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"laps"
+)
+
+func main() {
+	model := laps.DefaultPowerModel()
+	fmt.Printf("power model: %.2gW active / %.2gW idle / %.2gW gated, wake %v, gate after %v\n\n",
+		model.ActiveWatts, model.IdleWatts, model.SleepWatts, model.WakeLatency, model.GateThreshold)
+
+	// A light multiservice evening load: ~55% utilisation with seasonal
+	// swings, so real idleness exists to harvest.
+	mkTraffic := func() []laps.ServiceTraffic {
+		return []laps.ServiceTraffic{
+			{Service: laps.SvcIPForward, Params: laps.RateParams{A: 1.9, C: 0.5, Period: 0.003, Sigma: 0.05},
+				Trace: laps.CAIDATrace(1)},
+			{Service: laps.SvcMalwareScan, Params: laps.RateParams{A: 0.25, C: 0.1, Period: 0.005, Sigma: 0.02},
+				Trace: laps.AucklandTrace(1)},
+			{Service: laps.SvcVPNIn, Params: laps.RateParams{A: 0.12, C: 0.05, Period: 0.008, Sigma: 0.01},
+				Trace: laps.AucklandTrace(2)},
+		}
+	}
+
+	fmt.Println("scheduler   completed  drop%   energy(J)  ungated(J)  saved   gated-time  nJ/packet")
+	for _, kind := range []laps.SchedulerKind{laps.FCFS, laps.AFS, laps.LAPS} {
+		res, err := laps.Simulate(laps.SimConfig{
+			Scheduler: kind,
+			Duration:  40 * laps.Millisecond,
+			Seed:      11,
+			Traffic:   mkTraffic(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		est := laps.AnalyzePower(res.Cores, res.Duration, model)
+		perPkt := est.WithGating / float64(res.Metrics.Completed) * 1e9
+		fmt.Printf("%-10s  %9d  %5.2f%%  %9.4f  %10.4f  %5.1f%%  %9.2f%%  %9.1f\n",
+			kind, res.Metrics.Completed, 100*res.Metrics.DropRate(),
+			est.WithGating, est.WithoutGating, 100*est.Savings(),
+			100*est.GatedFraction, perPkt)
+	}
+	fmt.Println("\nLAPS needs fewer joules per delivered packet twice over: no cold-cache")
+	fmt.Println("waste while processing, and idle time pooled into long gateable blocks.")
+}

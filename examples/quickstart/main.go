@@ -1,0 +1,42 @@
+// Quickstart: simulate a 16-core network processor under a skewed
+// IP-forwarding workload and compare the LAPS scheduler against the
+// paper's baselines on drops, reordering and flow migrations.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"laps"
+)
+
+func main() {
+	// Offered load slightly above the 16-core ideal capacity for IP
+	// forwarding (0.5 µs/packet → 32 Mpps), the paper's §V-C setup.
+	const rateMpps = 1.03 * 32
+
+	fmt.Println("scheduler   drop%    out-of-order  migrations  mean-latency")
+	for _, kind := range []laps.SchedulerKind{laps.HashOnly, laps.AFS, laps.Oracle, laps.LAPS} {
+		res, err := laps.Simulate(laps.SimConfig{
+			Scheduler: kind,
+			Duration:  20 * laps.Millisecond,
+			Seed:      42,
+			Traffic: []laps.ServiceTraffic{{
+				Service: laps.SvcIPForward,
+				Params:  laps.RateParams{A: rateMpps, Sigma: rateMpps * 0.02},
+				Trace:   laps.CAIDATrace(1),
+			}},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m := res.Metrics
+		fmt.Printf("%-10s  %6.2f%%  %12d  %10d  %v\n",
+			kind, 100*m.DropRate(), m.OutOfOrder, m.Migrations, m.MeanLatency())
+	}
+	fmt.Println("\nLAPS matches AFS-level load balancing while migrating only heavy hitters,")
+	fmt.Println("so reordering and migrations collapse (the oracle shows the per-flow-stats ceiling).")
+}

@@ -1,0 +1,84 @@
+// Reordering: why flow migration reorders packets, measured directly.
+// Drives one elephant flow plus background mice through a 4-core system
+// with a scheduler that deliberately migrates the elephant between two
+// cores at a configurable frequency, and reports how out-of-order
+// departures grow with migration rate — the core tradeoff LAPS manages.
+//
+// Run with: go run ./examples/reordering
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"laps"
+)
+
+// flipScheduler pins all mice by hash but bounces the elephant between
+// core 0 and core 1 every `period` packets.
+type flipScheduler struct {
+	elephant laps.FlowKey
+	period   int
+	seen     int
+}
+
+func (f *flipScheduler) Name() string { return "flip" }
+
+func (f *flipScheduler) Target(p *laps.Packet, v laps.SystemView) int {
+	if p.Flow == f.elephant {
+		f.seen++
+		if f.period > 0 && (f.seen/f.period)%2 == 1 {
+			return 1
+		}
+		return 0
+	}
+	// mice spread over the remaining cores
+	return 2 + int(p.Flow.SrcIP)%(v.NumCores()-2)
+}
+
+func main() {
+	elephant := laps.FlowKey{SrcIP: 0x0A0A0A0A, DstIP: 0x0B0B0B0B, SrcPort: 999, DstPort: 80, Proto: 6}
+
+	fmt.Println("migration-period   migrations   out-of-order   ooo-per-migration")
+	for _, period := range []int{0, 10000, 1000, 100, 10} {
+		// Build a trace: 30% elephant packets, 70% mice.
+		mice := laps.NewTrace(laps.TraceConfig{Name: "mice", Flows: 500, Skew: 1.0, Seed: 5})
+		var recs []laps.TraceRecord
+		for i := 0; i < 400000; i++ {
+			if i%10 < 3 {
+				recs = append(recs, laps.TraceRecord{Flow: elephant, Size: 64})
+			} else {
+				rec, _ := mice.Next()
+				recs = append(recs, rec)
+			}
+		}
+		res, err := laps.Simulate(laps.SimConfig{
+			Cores:    4,
+			Custom:   &flipScheduler{elephant: elephant, period: period},
+			Duration: 40 * laps.Millisecond,
+			Seed:     3,
+			Traffic: []laps.ServiceTraffic{{
+				Service: laps.SvcIPForward,
+				Params:  laps.RateParams{A: 6}, // 6 Mpps over 4 cores: ~75% load
+				Trace:   laps.ReplayTrace("mix", recs, true),
+			}},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m := res.Metrics
+		per := 0.0
+		if m.Migrations > 0 {
+			per = float64(m.OutOfOrder) / float64(m.Migrations)
+		}
+		label := "never"
+		if period > 0 {
+			label = fmt.Sprintf("every %d pkts", period)
+		}
+		fmt.Printf("%-16s  %10d  %13d  %17.2f\n", label, m.Migrations, m.OutOfOrder, per)
+	}
+	fmt.Println("\nEvery migration strands the flow's queued packets behind a faster")
+	fmt.Println("path on the new core; reordering scales with migration frequency —")
+	fmt.Println("which is why LAPS migrates only the few flows that actually matter.")
+}

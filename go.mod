@@ -1,0 +1,3 @@
+module laps
+
+go 1.22

@@ -1,0 +1,47 @@
+// Package cache provides small fully-associative software caches with
+// pluggable replacement policies. The paper's Aggressive Flow Detector is
+// built from two of these: a large LFU "annex cache" feeding a 16-entry
+// LFU "Aggressive Flow Cache" (§III-F, "Both AFC and annex cache use
+// Least Frequently Used (LFU) replacement policy"). An LRU implementation
+// is included for the replacement-policy ablation.
+//
+// All operations are O(1); the LFU uses the classic frequency-bucket
+// list so that finding the minimum-frequency victim never scans.
+package cache
+
+// Entry is a key together with its reference count.
+type Entry[K comparable] struct {
+	Key   K
+	Count uint64
+}
+
+// Cache is a fixed-capacity associative cache. Implementations must be
+// deterministic: identical operation sequences produce identical
+// eviction decisions.
+type Cache[K comparable] interface {
+	// Len returns the number of resident entries.
+	Len() int
+	// Cap returns the capacity.
+	Cap() int
+	// Count returns the entry's reference count without touching it.
+	Count(k K) (uint64, bool)
+	// Touch records a reference to a resident key, incrementing its
+	// count, and returns the new count. It reports false on a miss.
+	Touch(k K) (uint64, bool)
+	// Insert adds a key with an initial count. If the cache is full the
+	// policy's victim is evicted and returned. Inserting a resident key
+	// overwrites its count. The bool reports whether an eviction happened.
+	Insert(k K, count uint64) (Entry[K], bool)
+	// Remove evicts a specific key, reporting whether it was resident.
+	Remove(k K) bool
+	// Victim returns (without evicting) the entry the policy would evict
+	// next. It reports false when the cache is empty.
+	Victim() (Entry[K], bool)
+	// Keys returns the resident keys in the policy's internal order,
+	// starting with the next victim. The slice is freshly allocated.
+	Keys() []K
+	// Entries returns resident entries in the same order as Keys.
+	Entries() []Entry[K]
+	// Reset evicts everything.
+	Reset()
+}

@@ -1,0 +1,405 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// constructors under test; every generic behaviour test runs against both.
+var constructors = map[string]func(capacity int) Cache[int]{
+	"LFU": func(c int) Cache[int] { return NewLFU[int](c) },
+	"LRU": func(c int) Cache[int] { return NewLRU[int](c) },
+}
+
+func TestCapacityPanics(t *testing.T) {
+	for name, mk := range constructors {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("capacity 0 did not panic")
+				}
+			}()
+			mk(0)
+		})
+	}
+}
+
+func TestEmptyCache(t *testing.T) {
+	for name, mk := range constructors {
+		t.Run(name, func(t *testing.T) {
+			c := mk(4)
+			if c.Len() != 0 || c.Cap() != 4 {
+				t.Fatalf("Len=%d Cap=%d, want 0/4", c.Len(), c.Cap())
+			}
+			if _, ok := c.Victim(); ok {
+				t.Fatal("empty cache has a victim")
+			}
+			if _, ok := c.Touch(1); ok {
+				t.Fatal("Touch hit on empty cache")
+			}
+			if _, ok := c.Count(1); ok {
+				t.Fatal("Count hit on empty cache")
+			}
+			if c.Remove(1) {
+				t.Fatal("Remove succeeded on empty cache")
+			}
+			if len(c.Keys()) != 0 {
+				t.Fatal("Keys non-empty on empty cache")
+			}
+		})
+	}
+}
+
+func TestInsertAndTouch(t *testing.T) {
+	for name, mk := range constructors {
+		t.Run(name, func(t *testing.T) {
+			c := mk(4)
+			if _, ev := c.Insert(7, 1); ev {
+				t.Fatal("insert into empty cache evicted")
+			}
+			if n, ok := c.Count(7); !ok || n != 1 {
+				t.Fatalf("Count(7) = %d,%v, want 1,true", n, ok)
+			}
+			if n, ok := c.Touch(7); !ok || n != 2 {
+				t.Fatalf("Touch(7) = %d,%v, want 2,true", n, ok)
+			}
+			if n, _ := c.Count(7); n != 2 {
+				t.Fatalf("Count after touch = %d, want 2", n)
+			}
+		})
+	}
+}
+
+func TestInsertResidentOverwritesCount(t *testing.T) {
+	for name, mk := range constructors {
+		t.Run(name, func(t *testing.T) {
+			c := mk(4)
+			c.Insert(7, 1)
+			c.Touch(7)
+			c.Insert(7, 10)
+			if n, _ := c.Count(7); n != 10 {
+				t.Fatalf("count = %d, want 10", n)
+			}
+			if c.Len() != 1 {
+				t.Fatalf("Len = %d, want 1 (no duplicate)", c.Len())
+			}
+		})
+	}
+}
+
+func TestLenNeverExceedsCap(t *testing.T) {
+	for name, mk := range constructors {
+		t.Run(name, func(t *testing.T) {
+			c := mk(8)
+			for i := 0; i < 100; i++ {
+				c.Insert(i, 1)
+				if c.Len() > c.Cap() {
+					t.Fatalf("Len %d exceeds Cap %d", c.Len(), c.Cap())
+				}
+			}
+			if c.Len() != 8 {
+				t.Fatalf("Len = %d, want 8", c.Len())
+			}
+		})
+	}
+}
+
+func TestRemove(t *testing.T) {
+	for name, mk := range constructors {
+		t.Run(name, func(t *testing.T) {
+			c := mk(4)
+			c.Insert(1, 1)
+			c.Insert(2, 1)
+			if !c.Remove(1) {
+				t.Fatal("Remove(1) failed")
+			}
+			if _, ok := c.Count(1); ok {
+				t.Fatal("removed key still resident")
+			}
+			if c.Len() != 1 {
+				t.Fatalf("Len = %d, want 1", c.Len())
+			}
+			if c.Remove(1) {
+				t.Fatal("double Remove succeeded")
+			}
+		})
+	}
+}
+
+func TestReset(t *testing.T) {
+	for name, mk := range constructors {
+		t.Run(name, func(t *testing.T) {
+			c := mk(4)
+			for i := 0; i < 4; i++ {
+				c.Insert(i, uint64(i+1))
+			}
+			c.Reset()
+			if c.Len() != 0 {
+				t.Fatalf("Len = %d after Reset", c.Len())
+			}
+			c.Insert(9, 1) // still usable
+			if c.Len() != 1 {
+				t.Fatal("cache unusable after Reset")
+			}
+		})
+	}
+}
+
+func TestLFUEvictsMinimumCount(t *testing.T) {
+	c := NewLFU[int](3)
+	c.Insert(1, 1)
+	c.Insert(2, 1)
+	c.Insert(3, 1)
+	c.Touch(1)
+	c.Touch(1)
+	c.Touch(2)
+	// counts: 1->3, 2->2, 3->1. Victim must be 3.
+	if v, _ := c.Victim(); v.Key != 3 {
+		t.Fatalf("victim = %d, want 3", v.Key)
+	}
+	ev, did := c.Insert(4, 1)
+	if !did || ev.Key != 3 || ev.Count != 1 {
+		t.Fatalf("evicted %+v (did=%v), want key 3 count 1", ev, did)
+	}
+}
+
+func TestLFUTieBreakIsLRU(t *testing.T) {
+	c := NewLFU[int](3)
+	c.Insert(1, 1)
+	c.Insert(2, 1)
+	c.Insert(3, 1)
+	c.Touch(1) // 1 now count 2
+	c.Touch(2) // 2 now count 2
+	c.Touch(3) // 3 now count 2 — all tied; 1 was touched longest ago
+	if v, _ := c.Victim(); v.Key != 1 {
+		t.Fatalf("victim = %d, want 1 (least recently touched among ties)", v.Key)
+	}
+}
+
+func TestLFUVictimAlwaysMinimum(t *testing.T) {
+	// Property: after any op sequence, the victim's count is <= every
+	// resident count.
+	f := func(ops []uint8) bool {
+		c := NewLFU[int](8)
+		for _, op := range ops {
+			key := int(op % 16)
+			switch {
+			case op < 128:
+				if _, ok := c.Touch(key); !ok {
+					c.Insert(key, 1)
+				}
+			case op < 200:
+				c.Insert(key, uint64(op%5)+1)
+			default:
+				c.Remove(key)
+			}
+			v, ok := c.Victim()
+			if !ok {
+				if c.Len() != 0 {
+					return false
+				}
+				continue
+			}
+			for _, e := range c.Entries() {
+				if e.Count < v.Count {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLFUInternalConsistency(t *testing.T) {
+	// Random workout, then verify Entries() agrees with a shadow map.
+	rng := rand.New(rand.NewPCG(42, 43))
+	c := NewLFU[int](32)
+	shadow := map[int]uint64{}
+	for i := 0; i < 20000; i++ {
+		key := int(rng.Int32N(100))
+		switch rng.Int32N(10) {
+		case 0:
+			if c.Remove(key) {
+				delete(shadow, key)
+			}
+		default:
+			if n, ok := c.Touch(key); ok {
+				shadow[key] = n
+			} else {
+				if ev, did := c.Insert(key, 1); did {
+					delete(shadow, ev.Key)
+				}
+				shadow[key] = 1
+			}
+		}
+	}
+	if c.Len() != len(shadow) {
+		t.Fatalf("Len = %d, shadow = %d", c.Len(), len(shadow))
+	}
+	for _, e := range c.Entries() {
+		if shadow[e.Key] != e.Count {
+			t.Fatalf("key %d count %d, shadow %d", e.Key, e.Count, shadow[e.Key])
+		}
+	}
+}
+
+func TestLFUKeysOrderedByCount(t *testing.T) {
+	c := NewLFU[int](8)
+	for i := 0; i < 8; i++ {
+		c.Insert(i, 1)
+		for j := 0; j < i; j++ {
+			c.Touch(i)
+		}
+	}
+	es := c.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i].Count < es[i-1].Count {
+			t.Fatalf("Entries not in ascending count order: %v", es)
+		}
+	}
+	if es[0].Key != 0 {
+		t.Fatalf("first entry (victim) = %d, want 0", es[0].Key)
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c := NewLRU[int](3)
+	c.Insert(1, 1)
+	c.Insert(2, 1)
+	c.Insert(3, 1)
+	c.Touch(1) // order now (MRU→LRU): 1,3,2
+	ev, did := c.Insert(4, 1)
+	if !did || ev.Key != 2 {
+		t.Fatalf("evicted %+v, want key 2", ev)
+	}
+	if v, _ := c.Victim(); v.Key != 3 {
+		t.Fatalf("victim = %d, want 3", v.Key)
+	}
+}
+
+func TestLRUIgnoresFrequency(t *testing.T) {
+	c := NewLRU[int](2)
+	c.Insert(1, 1)
+	for i := 0; i < 100; i++ {
+		c.Touch(1)
+	}
+	c.Insert(2, 1)
+	c.Touch(2)
+	// 1 is hot but least recent → LRU evicts it; LFU would not.
+	ev, _ := c.Insert(3, 1)
+	if ev.Key != 1 {
+		t.Fatalf("LRU evicted %d, want 1", ev.Key)
+	}
+}
+
+func TestKeysMatchEntries(t *testing.T) {
+	for name, mk := range constructors {
+		t.Run(name, func(t *testing.T) {
+			c := mk(8)
+			for i := 0; i < 12; i++ {
+				c.Insert(i, uint64(i%3)+1)
+			}
+			keys := c.Keys()
+			entries := c.Entries()
+			if len(keys) != len(entries) {
+				t.Fatalf("len(Keys)=%d len(Entries)=%d", len(keys), len(entries))
+			}
+			for i := range keys {
+				if keys[i] != entries[i].Key {
+					t.Fatalf("order mismatch at %d: %v vs %v", i, keys, entries)
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicEvictionSequence(t *testing.T) {
+	// Identical op sequences must yield identical eviction sequences —
+	// required for reproducible simulations.
+	for name, mk := range constructors {
+		t.Run(name, func(t *testing.T) {
+			run := func() []int {
+				rng := rand.New(rand.NewPCG(5, 6))
+				c := mk(16)
+				var evs []int
+				for i := 0; i < 5000; i++ {
+					k := int(rng.Int32N(64))
+					if _, ok := c.Touch(k); !ok {
+						if ev, did := c.Insert(k, 1); did {
+							evs = append(evs, ev.Key)
+						}
+					}
+				}
+				return evs
+			}
+			a, b := run(), run()
+			if len(a) != len(b) {
+				t.Fatalf("eviction counts differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("eviction %d differs: %d vs %d", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+func TestLFUHotKeysSurviveChurn(t *testing.T) {
+	// The property the AFD depends on: a few hot keys survive a storm of
+	// one-hit wonders in an LFU cache.
+	c := NewLFU[int](16)
+	hot := []int{1000, 1001, 1002, 1003}
+	for _, h := range hot {
+		c.Insert(h, 1)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 100000; i++ {
+		for _, h := range hot {
+			c.Touch(h)
+		}
+		k := int(rng.Int32N(1 << 20))
+		if _, ok := c.Touch(k); !ok {
+			c.Insert(k, 1)
+		}
+	}
+	for _, h := range hot {
+		if _, ok := c.Count(h); !ok {
+			t.Fatalf("hot key %d evicted by churn", h)
+		}
+	}
+}
+
+func BenchmarkLFUTouchHit(b *testing.B) {
+	c := NewLFU[uint64](1024)
+	for i := uint64(0); i < 1024; i++ {
+		c.Insert(i, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Touch(uint64(i) & 1023)
+	}
+}
+
+func BenchmarkLFUInsertEvict(b *testing.B) {
+	c := NewLFU[uint64](1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(uint64(i), 1)
+	}
+}
+
+func BenchmarkLRUTouchHit(b *testing.B) {
+	c := NewLRU[uint64](1024)
+	for i := uint64(0); i < 1024; i++ {
+		c.Insert(i, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Touch(uint64(i) & 1023)
+	}
+}

@@ -1,0 +1,279 @@
+package cache
+
+import "fmt"
+
+// lfuNode is one resident entry. Nodes form a doubly-linked list within
+// their frequency bucket, ordered by recency (head = most recent).
+type lfuNode[K comparable] struct {
+	key        K
+	count      uint64
+	prev, next *lfuNode[K]
+	bucket     *lfuBucket[K]
+}
+
+// lfuBucket groups all entries that share a reference count. Buckets form
+// a doubly-linked list in ascending count order; the first bucket holds
+// the eviction candidates.
+type lfuBucket[K comparable] struct {
+	count      uint64
+	head, tail *lfuNode[K] // recency list: head = most recently touched
+	prev, next *lfuBucket[K]
+	size       int
+}
+
+// LFU is a least-frequently-used cache with O(1) Touch/Insert/Remove.
+// Ties among minimum-count entries are broken by evicting the least
+// recently touched, which gives heavy-hitter detection the "inertia"
+// the paper relies on.
+type LFU[K comparable] struct {
+	capacity int
+	items    map[K]*lfuNode[K]
+	min      *lfuBucket[K] // bucket list head (smallest count), nil when empty
+
+	// Free lists recycle nodes and buckets: the steady state of a full
+	// cache is one insert+evict per miss, which would otherwise allocate
+	// on every missed packet.
+	freeNodes   *lfuNode[K]
+	freeBuckets *lfuBucket[K]
+}
+
+// NewLFU returns an empty LFU cache. capacity must be >= 1.
+func NewLFU[K comparable](capacity int) *LFU[K] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("cache: LFU capacity %d < 1", capacity))
+	}
+	return &LFU[K]{capacity: capacity, items: make(map[K]*lfuNode[K], capacity)}
+}
+
+// Len returns the number of resident entries.
+func (c *LFU[K]) Len() int { return len(c.items) }
+
+// Cap returns the capacity.
+func (c *LFU[K]) Cap() int { return c.capacity }
+
+// Count returns the key's count without updating recency.
+func (c *LFU[K]) Count(k K) (uint64, bool) {
+	n, ok := c.items[k]
+	if !ok {
+		return 0, false
+	}
+	return n.count, true
+}
+
+// Touch increments a resident key's count and returns the new value.
+func (c *LFU[K]) Touch(k K) (uint64, bool) {
+	n, ok := c.items[k]
+	if !ok {
+		return 0, false
+	}
+	c.promote(n)
+	return n.count, true
+}
+
+// promote moves n from its bucket to the bucket for count+1.
+func (c *LFU[K]) promote(n *lfuNode[K]) {
+	b := n.bucket
+	target := b.next
+	newCount := n.count + 1
+	c.unlinkNode(n)
+	if target == nil || target.count != newCount {
+		nb := c.newBucket(newCount)
+		c.insertBucketAfter(nb, b)
+		target = nb
+	}
+	if b.size == 0 {
+		c.removeBucket(b)
+	}
+	n.count = newCount
+	c.pushNode(target, n)
+}
+
+// Insert adds k with the given count, evicting the victim if full.
+func (c *LFU[K]) Insert(k K, count uint64) (Entry[K], bool) {
+	if n, ok := c.items[k]; ok {
+		// Resident: move to the bucket for the new count.
+		b := n.bucket
+		c.unlinkNode(n)
+		if b.size == 0 {
+			c.removeBucket(b)
+		}
+		n.count = count
+		c.pushNode(c.bucketFor(count), n)
+		return Entry[K]{}, false
+	}
+	var evicted Entry[K]
+	var did bool
+	if len(c.items) >= c.capacity {
+		v := c.min.tail // least recently touched among minimum count
+		evicted = Entry[K]{Key: v.key, Count: v.count}
+		did = true
+		c.deleteNode(v)
+	}
+	n := c.newNode(k, count)
+	c.items[k] = n
+	c.pushNode(c.bucketFor(count), n)
+	return evicted, did
+}
+
+// newNode takes a node from the free list or allocates one.
+func (c *LFU[K]) newNode(k K, count uint64) *lfuNode[K] {
+	if n := c.freeNodes; n != nil {
+		c.freeNodes = n.next
+		n.key, n.count, n.prev, n.next, n.bucket = k, count, nil, nil, nil
+		return n
+	}
+	return &lfuNode[K]{key: k, count: count}
+}
+
+// Remove evicts a specific key.
+func (c *LFU[K]) Remove(k K) bool {
+	n, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	c.deleteNode(n)
+	return true
+}
+
+// Victim returns the entry Insert would evict next.
+func (c *LFU[K]) Victim() (Entry[K], bool) {
+	if c.min == nil {
+		return Entry[K]{}, false
+	}
+	v := c.min.tail
+	return Entry[K]{Key: v.key, Count: v.count}, true
+}
+
+// Keys returns resident keys in eviction order (victim first).
+func (c *LFU[K]) Keys() []K {
+	keys := make([]K, 0, len(c.items))
+	for b := c.min; b != nil; b = b.next {
+		for n := b.tail; n != nil; n = n.prev {
+			keys = append(keys, n.key)
+		}
+	}
+	return keys
+}
+
+// Entries returns resident entries in eviction order (victim first).
+func (c *LFU[K]) Entries() []Entry[K] {
+	es := make([]Entry[K], 0, len(c.items))
+	for b := c.min; b != nil; b = b.next {
+		for n := b.tail; n != nil; n = n.prev {
+			es = append(es, Entry[K]{Key: n.key, Count: n.count})
+		}
+	}
+	return es
+}
+
+// Reset evicts everything.
+func (c *LFU[K]) Reset() {
+	c.items = make(map[K]*lfuNode[K], c.capacity)
+	c.min = nil
+	c.freeNodes = nil
+	c.freeBuckets = nil
+}
+
+// bucketFor finds or creates the bucket with exactly the given count,
+// keeping the bucket list sorted ascending.
+func (c *LFU[K]) bucketFor(count uint64) *lfuBucket[K] {
+	var prev *lfuBucket[K]
+	b := c.min
+	for b != nil && b.count < count {
+		prev, b = b, b.next
+	}
+	if b != nil && b.count == count {
+		return b
+	}
+	nb := c.newBucket(count)
+	c.insertBucketAfter(nb, prev)
+	return nb
+}
+
+// newBucket takes a bucket from the free list or allocates one.
+func (c *LFU[K]) newBucket(count uint64) *lfuBucket[K] {
+	if b := c.freeBuckets; b != nil {
+		c.freeBuckets = b.next
+		b.count, b.head, b.tail, b.prev, b.next, b.size = count, nil, nil, nil, nil, 0
+		return b
+	}
+	return &lfuBucket[K]{count: count}
+}
+
+// insertBucketAfter links nb after prev (prev == nil means at the head).
+func (c *LFU[K]) insertBucketAfter(nb, prev *lfuBucket[K]) {
+	if prev == nil {
+		nb.next = c.min
+		if c.min != nil {
+			c.min.prev = nb
+		}
+		c.min = nb
+		return
+	}
+	nb.prev = prev
+	nb.next = prev.next
+	if prev.next != nil {
+		prev.next.prev = nb
+	}
+	prev.next = nb
+}
+
+func (c *LFU[K]) removeBucket(b *lfuBucket[K]) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		c.min = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+	b.prev = nil
+	b.next = c.freeBuckets
+	c.freeBuckets = b
+}
+
+// pushNode places n at the head (most recent) of bucket b.
+func (c *LFU[K]) pushNode(b *lfuBucket[K], n *lfuNode[K]) {
+	n.bucket = b
+	n.prev = nil
+	n.next = b.head
+	if b.head != nil {
+		b.head.prev = n
+	}
+	b.head = n
+	if b.tail == nil {
+		b.tail = n
+	}
+	b.size++
+}
+
+// unlinkNode detaches n from its bucket's recency list.
+func (c *LFU[K]) unlinkNode(n *lfuNode[K]) {
+	b := n.bucket
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	n.prev, n.next, n.bucket = nil, nil, nil
+	b.size--
+}
+
+// deleteNode fully removes n from the cache and recycles it.
+func (c *LFU[K]) deleteNode(n *lfuNode[K]) {
+	b := n.bucket
+	c.unlinkNode(n)
+	if b.size == 0 {
+		c.removeBucket(b)
+	}
+	delete(c.items, n.key)
+	var zero K
+	n.key = zero
+	n.next = c.freeNodes
+	c.freeNodes = n
+}

@@ -1,0 +1,166 @@
+package cache
+
+import "fmt"
+
+// lruNode is one resident entry on the recency list.
+type lruNode[K comparable] struct {
+	key        K
+	count      uint64
+	prev, next *lruNode[K]
+}
+
+// LRU is a least-recently-used cache with the same interface as LFU.
+// Reference counts are still maintained (Touch increments) so the AFD's
+// promotion threshold works identically; only the eviction choice
+// differs. Used by the replacement-policy ablation (DESIGN.md §5).
+type LRU[K comparable] struct {
+	capacity   int
+	items      map[K]*lruNode[K]
+	head, tail *lruNode[K] // head = most recent, tail = next victim
+	free       *lruNode[K] // recycled nodes
+}
+
+// NewLRU returns an empty LRU cache. capacity must be >= 1.
+func NewLRU[K comparable](capacity int) *LRU[K] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("cache: LRU capacity %d < 1", capacity))
+	}
+	return &LRU[K]{capacity: capacity, items: make(map[K]*lruNode[K], capacity)}
+}
+
+// Len returns the number of resident entries.
+func (c *LRU[K]) Len() int { return len(c.items) }
+
+// Cap returns the capacity.
+func (c *LRU[K]) Cap() int { return c.capacity }
+
+// Count returns the key's count without updating recency.
+func (c *LRU[K]) Count(k K) (uint64, bool) {
+	n, ok := c.items[k]
+	if !ok {
+		return 0, false
+	}
+	return n.count, true
+}
+
+// Touch increments the key's count and moves it to the front.
+func (c *LRU[K]) Touch(k K) (uint64, bool) {
+	n, ok := c.items[k]
+	if !ok {
+		return 0, false
+	}
+	n.count++
+	c.moveToFront(n)
+	return n.count, true
+}
+
+// Insert adds k with the given count, evicting the tail if full.
+func (c *LRU[K]) Insert(k K, count uint64) (Entry[K], bool) {
+	if n, ok := c.items[k]; ok {
+		n.count = count
+		c.moveToFront(n)
+		return Entry[K]{}, false
+	}
+	var evicted Entry[K]
+	var did bool
+	if len(c.items) >= c.capacity {
+		v := c.tail
+		evicted = Entry[K]{Key: v.key, Count: v.count}
+		did = true
+		c.unlink(v)
+		delete(c.items, v.key)
+		var zero K
+		v.key = zero
+		v.next = c.free
+		c.free = v
+	}
+	var n *lruNode[K]
+	if c.free != nil {
+		n = c.free
+		c.free = n.next
+		n.key, n.count, n.prev, n.next = k, count, nil, nil
+	} else {
+		n = &lruNode[K]{key: k, count: count}
+	}
+	c.items[k] = n
+	c.pushFront(n)
+	return evicted, did
+}
+
+// Remove evicts a specific key.
+func (c *LRU[K]) Remove(k K) bool {
+	n, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	delete(c.items, k)
+	return true
+}
+
+// Victim returns the least recently used entry.
+func (c *LRU[K]) Victim() (Entry[K], bool) {
+	if c.tail == nil {
+		return Entry[K]{}, false
+	}
+	return Entry[K]{Key: c.tail.key, Count: c.tail.count}, true
+}
+
+// Keys returns resident keys in eviction order (victim first).
+func (c *LRU[K]) Keys() []K {
+	keys := make([]K, 0, len(c.items))
+	for n := c.tail; n != nil; n = n.prev {
+		keys = append(keys, n.key)
+	}
+	return keys
+}
+
+// Entries returns resident entries in eviction order (victim first).
+func (c *LRU[K]) Entries() []Entry[K] {
+	es := make([]Entry[K], 0, len(c.items))
+	for n := c.tail; n != nil; n = n.prev {
+		es = append(es, Entry[K]{Key: n.key, Count: n.count})
+	}
+	return es
+}
+
+// Reset evicts everything.
+func (c *LRU[K]) Reset() {
+	c.items = make(map[K]*lruNode[K], c.capacity)
+	c.head, c.tail = nil, nil
+	c.free = nil
+}
+
+func (c *LRU[K]) moveToFront(n *lruNode[K]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *LRU[K]) pushFront(n *lruNode[K]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *LRU[K]) unlink(n *lruNode[K]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"laps/internal/afd"
+	"laps/internal/packet"
+	"laps/internal/sim"
+)
+
+func TestInitialSharesApplied(t *testing.T) {
+	l := New(Config{TotalCores: 8, Services: 3, InitialShares: []int{5, 2, 1}})
+	for s, want := range []int{5, 2, 1} {
+		if got := len(l.CoresOf(packet.ServiceID(s))); got != want {
+			t.Fatalf("service %d has %d cores, want %d", s, got, want)
+		}
+	}
+}
+
+func TestInitialSharesValidation(t *testing.T) {
+	cases := []Config{
+		{TotalCores: 8, Services: 2, InitialShares: []int{8}},       // wrong length
+		{TotalCores: 8, Services: 2, InitialShares: []int{8, 0}},    // zero share
+		{TotalCores: 8, Services: 2, InitialShares: []int{5, 5}},    // wrong sum
+		{TotalCores: 8, Services: 3, InitialShares: []int{4, 4, 4}}, // sum too big
+	}
+	for _, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("shares %v did not panic", cfg.InitialShares)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestInitialSharesHashSized(t *testing.T) {
+	// The incremental hash of each service must start at its share.
+	l := New(Config{TotalCores: 10, Services: 2, InitialShares: []int{7, 3}})
+	if got := l.svc[0].lh.Buckets(); got != 7 {
+		t.Fatalf("service 0 hash buckets = %d, want 7", got)
+	}
+	if got := l.svc[1].lh.Buckets(); got != 3 {
+		t.Fatalf("service 1 hash buckets = %d, want 3", got)
+	}
+}
+
+func TestEWMALoadSignalUpdates(t *testing.T) {
+	l := New(Config{
+		TotalCores:   4,
+		Services:     1,
+		ScanInterval: sim.Microsecond,
+		AFD:          afd.Config{AFCSize: 4, AnnexSize: 32, PromoteThreshold: 2},
+	})
+	v := newMockView(4)
+	v.qlen[2] = 20
+	for i := 0; i < 50; i++ {
+		v.now += 2 * sim.Microsecond
+		l.Target(pkt(0, i), v)
+	}
+	if l.ewma[2] < 10 {
+		t.Fatalf("ewma[2] = %.2f after sustained load 20", l.ewma[2])
+	}
+	if l.ewma[0] > 1 {
+		t.Fatalf("ewma[0] = %.2f for idle core", l.ewma[0])
+	}
+}
+
+func TestInstantLoadSignalAblation(t *testing.T) {
+	l := New(Config{
+		TotalCores:        4,
+		Services:          1,
+		InstantLoadSignal: true,
+		AFD:               afd.Config{AFCSize: 4, AnnexSize: 32, PromoteThreshold: 2},
+	})
+	v := newMockView(4)
+	// Make EWMA state misleading (high everywhere) while instantaneous
+	// queue of core 3 is lowest: instant mode must pick core 3.
+	for c := range l.ewma {
+		l.ewma[c] = 30
+	}
+	v.qlen[0], v.qlen[1], v.qlen[2], v.qlen[3] = 30, 30, 30, 1
+	if got := l.minQueue(l.svc[0], v); got != 3 {
+		t.Fatalf("instant minQueue = %d, want 3", got)
+	}
+}
+
+func TestMigrationUsesEWMAByDefault(t *testing.T) {
+	l := New(Config{
+		TotalCores: 4,
+		Services:   1,
+		AFD:        afd.Config{AFCSize: 4, AnnexSize: 32, PromoteThreshold: 2},
+	})
+	v := newMockView(4)
+	// EWMA says core 1 is cold even though its instantaneous queue is
+	// momentarily high; default mode follows the smoothed signal.
+	l.ewma[0], l.ewma[1], l.ewma[2], l.ewma[3] = 20, 1, 20, 20
+	v.qlen[0], v.qlen[1], v.qlen[2], v.qlen[3] = 5, 12, 5, 5
+	if got := l.minQueue(l.svc[0], v); got != 1 {
+		t.Fatalf("ewma minQueue = %d, want 1", got)
+	}
+}
+
+func TestPlacementFeedbackBumpsEWMA(t *testing.T) {
+	l := New(Config{
+		TotalCores: 4,
+		Services:   1,
+		AFD:        afd.Config{AFCSize: 4, AnnexSize: 32, PromoteThreshold: 2, RequalifyHits: 1},
+	})
+	v := newMockView(4)
+	const flow = 9
+	train(l, v, 0, flow, 5)
+	home := l.Target(pkt(0, flow), v)
+	v.qlen[home] = 30
+	before := make([]float64, 4)
+	copy(before, l.ewma)
+	moved := l.Target(pkt(0, flow), v)
+	if moved == home {
+		t.Fatal("setup: no migration happened")
+	}
+	if l.ewma[moved] <= before[moved] {
+		t.Fatalf("ewma[%d] not bumped after placement (%.2f -> %.2f)",
+			moved, before[moved], l.ewma[moved])
+	}
+}

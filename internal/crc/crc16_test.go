@@ -1,0 +1,122 @@
+package crc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"laps/internal/packet"
+)
+
+// Known-answer tests for CRC16/CCITT-FALSE. "123456789" -> 0x29B1 is the
+// standard check value for this variant.
+func TestChecksumKnownAnswers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint16
+	}{
+		{"123456789", 0x29B1},
+		{"", 0xFFFF}, // empty message leaves the initial register
+		{"A", 0xB915},
+		{"\x00", 0xE1F0},
+	}
+	for _, c := range cases {
+		if got := Checksum([]byte(c.in)); got != c.want {
+			t.Errorf("Checksum(%q) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableMatchesReference(t *testing.T) {
+	f := func(data []byte) bool {
+		return Checksum(data) == Reference(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateChains(t *testing.T) {
+	f := func(a, b []byte) bool {
+		whole := Checksum(append(append([]byte{}, a...), b...))
+		chained := Update(Update(Init, a), b)
+		return whole == chained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumSensitivity(t *testing.T) {
+	// Flipping any single bit of a 13-byte message must change the CRC
+	// (CRC16 detects all single-bit errors).
+	msg := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	base := Checksum(msg)
+	for i := range msg {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte{}, msg...)
+			mut[i] ^= 1 << bit
+			if Checksum(mut) == base {
+				t.Fatalf("single-bit flip at byte %d bit %d undetected", i, bit)
+			}
+		}
+	}
+}
+
+func TestFlowHashMatchesChecksumOfEncoding(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		k := packet.FlowKey{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: proto}
+		b := k.Bytes()
+		return FlowHash(k) == Checksum(b[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowHashDeterministic(t *testing.T) {
+	k := packet.FlowKey{SrcIP: 0x0A000001, DstIP: 0x0A000002, SrcPort: 80, DstPort: 8080, Proto: 6}
+	h1 := FlowHash(k)
+	h2 := FlowHash(k)
+	if h1 != h2 {
+		t.Fatalf("FlowHash not deterministic: %#04x vs %#04x", h1, h2)
+	}
+}
+
+func TestFlowHashSpreads(t *testing.T) {
+	// Sequential port numbers (worst-case structured input) should still
+	// spread across buckets reasonably: with 4096 flows into 16 buckets,
+	// no bucket should hold more than 3x the mean.
+	const flows, buckets = 4096, 16
+	var counts [buckets]int
+	for i := 0; i < flows; i++ {
+		k := packet.FlowKey{
+			SrcIP: 0xC0A80000 + uint32(i%256), DstIP: 0x08080808,
+			SrcPort: uint16(1024 + i), DstPort: 443, Proto: 6,
+		}
+		counts[FlowHash(k)%buckets]++
+	}
+	mean := flows / buckets
+	for b, c := range counts {
+		if c > 3*mean {
+			t.Errorf("bucket %d holds %d flows, > 3x mean %d", b, c, mean)
+		}
+	}
+}
+
+func BenchmarkChecksum13B(b *testing.B) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		sinkU16 = Checksum(data)
+	}
+}
+
+func BenchmarkFlowHash(b *testing.B) {
+	k := packet.FlowKey{SrcIP: 0x0A000001, DstIP: 0x0A000002, SrcPort: 80, DstPort: 8080, Proto: 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkU16 = FlowHash(k)
+	}
+}
+
+var sinkU16 uint16

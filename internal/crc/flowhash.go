@@ -1,0 +1,11 @@
+package crc
+
+import "laps/internal/packet"
+
+// FlowHash returns the CRC16 of a flow key's canonical 13-byte encoding.
+// This is the hash the scheduler's map tables are indexed by. The
+// encoding is built on the stack so the call does not allocate.
+func FlowHash(k packet.FlowKey) uint16 {
+	b := k.Bytes()
+	return Checksum(b[:])
+}

@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"fmt"
+
+	"laps/internal/afd"
+)
+
+// Ablation exercises the design decisions DESIGN.md §5 calls out:
+// two-level AFD vs a single ElephantTrap-style cache, LFU vs LRU
+// replacement, and the promotion-threshold sweep. All are detector-level
+// studies on the Fig 8 traces.
+func Ablation(opts Options) []Table {
+	opts = opts.withDefaults()
+	return []Table{
+		ablationTwoLevel(opts),
+		ablationPolicy(opts),
+		ablationThreshold(opts),
+	}
+}
+
+// ablationTwoLevel compares the paper's two-level AFD against a single
+// small cache (related work [28]) at equal scheduler-visible size.
+func ablationTwoLevel(opts Options) Table {
+	t := Table{
+		Title:   "Ablation: two-level AFD vs single 16-entry cache (FPR)",
+		Columns: []string{"trace", "afd(16+512)", "single(16)", "single(528)"},
+	}
+	srcs := detectorTraces()
+	rows := parallelMap(opts.Workers, len(srcs), func(i int) []string {
+		mk := srcs[i]
+		truth := afd.NewExactCounter()
+		det := afd.New(afd.Config{AFCSize: 16, AnnexSize: 512, Seed: opts.Seed})
+		small := afd.NewSingleCache(16, 16)
+		big := afd.NewSingleCache(528, 16)
+		src := mk()
+		for p := 0; p < opts.StreamPackets; p++ {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			det.Observe(rec.Flow)
+			small.Observe(rec.Flow)
+			big.Observe(rec.Flow)
+			truth.Observe(rec.Flow)
+		}
+		return []string{
+			src.Name(),
+			f(afd.Evaluate(det.Aggressive(), truth, 16).FPR),
+			f(afd.Evaluate(small.Aggressive(), truth, 16).FPR),
+			f(afd.Evaluate(big.Aggressive(), truth, 16).FPR),
+		}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	t.AddNote("single(16): every miss installs a mouse into the scheduler-visible cache")
+	return t
+}
+
+// ablationPolicy compares LFU (paper) against LRU replacement in both
+// AFD levels.
+func ablationPolicy(opts Options) Table {
+	t := Table{
+		Title:   "Ablation: AFD replacement policy (FPR, AFC=16 annex=512)",
+		Columns: []string{"trace", "lfu", "lru"},
+	}
+	srcs := detectorTraces()
+	rows := parallelMap(opts.Workers, len(srcs), func(i int) []string {
+		mk := srcs[i]
+		truth := afd.NewExactCounter()
+		lfu := afd.New(afd.Config{AFCSize: 16, AnnexSize: 512, Seed: opts.Seed, Policy: afd.LFU})
+		lru := afd.New(afd.Config{AFCSize: 16, AnnexSize: 512, Seed: opts.Seed, Policy: afd.LRU})
+		src := mk()
+		for p := 0; p < opts.StreamPackets; p++ {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			lfu.Observe(rec.Flow)
+			lru.Observe(rec.Flow)
+			truth.Observe(rec.Flow)
+		}
+		return []string{
+			src.Name(),
+			f(afd.Evaluate(lfu.Aggressive(), truth, 16).FPR),
+			f(afd.Evaluate(lru.Aggressive(), truth, 16).FPR),
+		}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	return t
+}
+
+// ablationThreshold sweeps the annex->AFC promotion threshold.
+func ablationThreshold(opts Options) Table {
+	thresholds := []uint64{2, 4, 8, 16, 32, 64}
+	srcs := detectorTraces()
+	cols := []string{"threshold"}
+	for _, mk := range srcs {
+		cols = append(cols, mk().Name())
+	}
+	t := Table{Title: "Ablation: promotion threshold sweep (FPR, AFC=16 annex=512)", Columns: cols}
+	type key struct{ th, src int }
+	jobs := make([]key, 0, len(thresholds)*len(srcs))
+	for thi := range thresholds {
+		for ti := range srcs {
+			jobs = append(jobs, key{thi, ti})
+		}
+	}
+	fprs := parallelMap(opts.Workers, len(jobs), func(i int) float64 {
+		j := jobs[i]
+		det := afd.New(afd.Config{AFCSize: 16, AnnexSize: 512,
+			PromoteThreshold: thresholds[j.th], Seed: opts.Seed})
+		truth := afd.NewExactCounter()
+		replayDetector(srcs[j.src](), det, truth, opts.StreamPackets)
+		return afd.Evaluate(det.Aggressive(), truth, 16).FPR
+	})
+	for thi, th := range thresholds {
+		row := []string{fmt.Sprintf("%d", th)}
+		for ti := range srcs {
+			row = append(row, f(fprs[thi*len(srcs)+ti]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"laps/internal/packet"
+	"laps/internal/traffic"
+)
+
+// Fig7 reproduces Figure 7: LAPS vs FCFS vs AFS over traffic scenarios
+// T1..T8 — (a) packets dropped, (b) cold-cache fraction, (c) out-of-order
+// departures. Returns the three sub-figures as tables.
+func Fig7(opts Options) []Table {
+	opts = opts.withDefaults()
+	scenarios := Scenarios()
+	kinds := []SchedKind{KindFCFS, KindAFS, KindLAPS}
+
+	type job struct {
+		sc   Scenario
+		kind SchedKind
+	}
+	var jobs []job
+	for _, sc := range scenarios {
+		for _, k := range kinds {
+			jobs = append(jobs, job{sc, k})
+		}
+	}
+	results := parallelMap(opts.Workers, len(jobs), func(i int) RunResult {
+		return runScenario(jobs[i].sc, jobs[i].kind, opts)
+	})
+	byKey := map[string]RunResult{}
+	for _, r := range results {
+		byKey[r.Scenario+"/"+r.Scheduler] = r
+	}
+
+	drops := Table{
+		Title:   "Fig 7a: packets dropped (count and % of injected)",
+		Columns: []string{"scenario", "fcfs", "afs", "laps", "fcfs%", "afs%", "laps%"},
+	}
+	cold := Table{
+		Title:   "Fig 7b: packets paying cold-cache penalty (% of completed)",
+		Columns: []string{"scenario", "fcfs", "afs", "laps"},
+	}
+	ooo := Table{
+		Title:   "Fig 7c: out-of-order departures (count and % of completed)",
+		Columns: []string{"scenario", "fcfs", "afs", "laps", "fcfs%", "afs%", "laps%"},
+	}
+	for _, sc := range scenarios {
+		rF := byKey[sc.Name+"/fcfs"]
+		rA := byKey[sc.Name+"/afs"]
+		rL := byKey[sc.Name+"/laps"]
+		drops.AddRow(sc.Name,
+			n(rF.Metrics.Dropped), n(rA.Metrics.Dropped), n(rL.Metrics.Dropped),
+			pct(rF.Metrics.DropRate()), pct(rA.Metrics.DropRate()), pct(rL.Metrics.DropRate()))
+		cold.AddRow(sc.Name,
+			pct(rF.Metrics.ColdCacheRate()), pct(rA.Metrics.ColdCacheRate()), pct(rL.Metrics.ColdCacheRate()))
+		ooo.AddRow(sc.Name,
+			n(rF.Metrics.OutOfOrder), n(rA.Metrics.OutOfOrder), n(rL.Metrics.OutOfOrder),
+			pct(rF.Metrics.OOORate()), pct(rA.Metrics.OOORate()), pct(rL.Metrics.OOORate()))
+	}
+	drops.AddNote("T1-T4: Set 1 (under-load, ~%d%% util); T5-T8: Set 2 (overload)", 72)
+	drops.AddNote("duration %v, %g model-seconds of Holt-Winters dynamics, %d cores",
+		opts.Duration, opts.ModelSeconds, opts.Cores)
+	return []Table{drops, cold, ooo}
+}
+
+// Tab4 prints Table IV's rate parameters as configured.
+func Tab4() Table {
+	t := Table{
+		Title:   "Table IV: traffic rate parameters (Mpps, seconds)",
+		Columns: []string{"set", "service", "a", "b", "C", "m", "sigma"},
+	}
+	sets := []struct {
+		name   string
+		params [packet.NumServices]traffic.RateParams
+	}{
+		{"Set1", traffic.Set1()},
+		{"Set2", traffic.Set2()},
+	}
+	for _, s := range sets {
+		for svc := 0; svc < packet.NumServices; svc++ {
+			p := s.params[svc]
+			t.AddRow(s.name, packet.ServiceID(svc).String(),
+				f(p.A), f(p.B), f(p.C), f(p.Period), f(p.Sigma))
+		}
+	}
+	t.AddNote("S2 trend values printed as '025'/'02' in the paper are read as 0.025/0.02")
+	return t
+}

@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"fmt"
+
+	"laps/internal/afd"
+	"laps/internal/trace"
+)
+
+// detectorTraces are the traces Fig 8 evaluates the AFD on (two
+// CAIDA-like, two Auckland-like, mirroring the paper's Caida 1/2 and
+// Auckland picks).
+func detectorTraces() []func() trace.Source {
+	return []func() trace.Source{
+		func() trace.Source { return trace.CAIDALike(1) },
+		func() trace.Source { return trace.CAIDALike(2) },
+		func() trace.Source { return trace.AucklandLike(1) },
+		func() trace.Source { return trace.AucklandLike(2) },
+	}
+}
+
+// replayDetector streams packets from src into det and truth.
+func replayDetector(src trace.Source, det *afd.Detector, truth *afd.ExactCounter, packets int) {
+	for i := 0; i < packets; i++ {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		det.Observe(rec.Flow)
+		truth.Observe(rec.Flow)
+	}
+}
+
+// Fig8a reproduces Figure 8a: false-positive ratio of a 16-entry AFC as
+// the annex cache size sweeps 64..2048.
+func Fig8a(opts Options) Table {
+	opts = opts.withDefaults()
+	sizes := []int{64, 128, 256, 512, 1024, 2048}
+	srcs := detectorTraces()
+
+	cols := []string{"annex"}
+	for _, mk := range srcs {
+		cols = append(cols, mk().Name())
+	}
+	t := Table{Title: "Fig 8a: AFC false positive ratio vs annex cache size (AFC=16)", Columns: cols}
+
+	type key struct{ size, src int }
+	jobs := make([]key, 0, len(sizes)*len(srcs))
+	for si := range sizes {
+		for ti := range srcs {
+			jobs = append(jobs, key{si, ti})
+		}
+	}
+	fprs := parallelMap(opts.Workers, len(jobs), func(i int) float64 {
+		j := jobs[i]
+		det := afd.New(afd.Config{AFCSize: 16, AnnexSize: sizes[j.size], Seed: opts.Seed})
+		truth := afd.NewExactCounter()
+		replayDetector(srcs[j.src](), det, truth, opts.StreamPackets)
+		return afd.Evaluate(det.Aggressive(), truth, 16).FPR
+	})
+	for si, size := range sizes {
+		row := []string{fmt.Sprintf("%d", size)}
+		for ti := range srcs {
+			row = append(row, f(fprs[si*len(srcs)+ti]))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("%d packets per trace; truth = exact offline top-16", opts.StreamPackets)
+	return t
+}
+
+// Fig8b reproduces Figure 8b: AFD accuracy (fraction of AFC entries in
+// the running true top-16) evaluated at fixed packet intervals, with a
+// 512-entry annex.
+func Fig8b(opts Options) Table {
+	opts = opts.withDefaults()
+	windows := []int{1000, 10000, 50000, 100000}
+	srcs := detectorTraces()
+	cols := []string{"window"}
+	for _, mk := range srcs {
+		cols = append(cols, mk().Name())
+	}
+	t := Table{Title: "Fig 8b: mean AFD accuracy vs evaluation window (annex=512)", Columns: cols}
+
+	type key struct{ win, src int }
+	jobs := make([]key, 0, len(windows)*len(srcs))
+	for wi := range windows {
+		for ti := range srcs {
+			jobs = append(jobs, key{wi, ti})
+		}
+	}
+	accs := parallelMap(opts.Workers, len(jobs), func(i int) float64 {
+		j := jobs[i]
+		det := afd.New(afd.Config{AFCSize: 16, AnnexSize: 512, Seed: opts.Seed})
+		truth := afd.NewExactCounter()
+		src := srcs[j.src]()
+		win := windows[j.win]
+		var accSum float64
+		var evals int
+		for seen := 0; seen < opts.StreamPackets; seen++ {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			det.Observe(rec.Flow)
+			truth.Observe(rec.Flow)
+			if (seen+1)%win == 0 && seen+1 >= win {
+				acc := afd.Evaluate(det.Aggressive(), truth, 16)
+				if acc.Detected > 0 {
+					accSum += 1 - acc.FPR
+					evals++
+				}
+			}
+		}
+		if evals == 0 {
+			return 0
+		}
+		return accSum / float64(evals)
+	})
+	for wi, win := range windows {
+		row := []string{fmt.Sprintf("%d", win)}
+		for ti := range srcs {
+			row = append(row, f(accs[wi*len(srcs)+ti]))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("accuracy = 1 - FPR against the running exact top-16 at each boundary")
+	return t
+}
+
+// Fig8c reproduces Figure 8c: false-positive ratio when only a fraction
+// p of packets access the AFD (sampling), annex 512.
+func Fig8c(opts Options) Table {
+	opts = opts.withDefaults()
+	probs := []float64{1, 0.1, 0.01, 0.001, 0.0001}
+	labels := []string{"1", "1/10", "1/100", "1/1k", "1/10k"}
+	srcs := detectorTraces()
+	cols := []string{"sample-p"}
+	for _, mk := range srcs {
+		cols = append(cols, mk().Name())
+	}
+	t := Table{Title: "Fig 8c: AFC false positive ratio vs packet sampling probability (annex=512)", Columns: cols}
+
+	type key struct{ p, src int }
+	jobs := make([]key, 0, len(probs)*len(srcs))
+	for pi := range probs {
+		for ti := range srcs {
+			jobs = append(jobs, key{pi, ti})
+		}
+	}
+	fprs := parallelMap(opts.Workers, len(jobs), func(i int) float64 {
+		j := jobs[i]
+		det := afd.New(afd.Config{AFCSize: 16, AnnexSize: 512, SampleProb: probs[j.p], Seed: opts.Seed})
+		truth := afd.NewExactCounter()
+		replayDetector(srcs[j.src](), det, truth, opts.StreamPackets)
+		return afd.Evaluate(det.Aggressive(), truth, 16).FPR
+	})
+	for pi := range probs {
+		row := []string{labels[pi]}
+		for ti := range srcs {
+			row = append(row, f(fprs[pi*len(srcs)+ti]))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("sampling filters mice before the AFD, cutting its access energy (paper §V-B)")
+	return t
+}
+
+// Fig2 reproduces Figure 2: the rank distribution of flow sizes in each
+// trace, demonstrating the elephant/mice skew the scheduler exploits.
+func Fig2(opts Options) Table {
+	opts = opts.withDefaults()
+	srcs := detectorTraces()
+	cols := []string{"trace", "flows", "rank1", "rank10", "rank100", "rank1k", "rank10k", "top16-share"}
+	t := Table{Title: "Fig 2: flow size (packets) by rank", Columns: cols}
+	rows := parallelMap(opts.Workers, len(srcs), func(i int) []string {
+		truth := afd.NewExactCounter()
+		src := srcs[i]()
+		for p := 0; p < opts.StreamPackets; p++ {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			truth.Observe(rec.Flow)
+		}
+		rs := truth.RankSize()
+		at := func(rank int) string {
+			if rank-1 < len(rs) {
+				return fmt.Sprintf("%d", rs[rank-1])
+			}
+			return "-"
+		}
+		var top16 uint64
+		for i := 0; i < 16 && i < len(rs); i++ {
+			top16 += rs[i]
+		}
+		return []string{
+			src.Name(), fmt.Sprintf("%d", truth.Flows()),
+			at(1), at(10), at(100), at(1000), at(10000),
+			pct(float64(top16) / float64(truth.Total())),
+		}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	t.AddNote("%d packets per trace; heavy-tailed: few elephants, many mice", opts.StreamPackets)
+	return t
+}

@@ -1,0 +1,289 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"laps/internal/afd"
+	"laps/internal/core"
+	"laps/internal/npsim"
+	"laps/internal/packet"
+	"laps/internal/sched"
+	"laps/internal/sim"
+	"laps/internal/trace"
+	"laps/internal/traffic"
+)
+
+// Options are the shared experiment knobs. Zero values take defaults
+// sized so the full suite runs in minutes on a laptop; raise Duration
+// (and lower TimeCompression) to approach the paper's 60 s runs.
+type Options struct {
+	// Duration is the traffic-generation window per scenario
+	// (default 200 ms of simulated time).
+	Duration sim.Time
+	// ModelSeconds is how many seconds of the paper's 60 s Holt-Winters
+	// dynamics the window sweeps (default 60). The harness derives the
+	// time compression Duration covers.
+	ModelSeconds float64
+	// Cores is the processor size (default 16, Table III's setup).
+	Cores int
+	// Seed makes every run reproducible.
+	Seed uint64
+	// Workers bounds concurrent scenario simulations
+	// (default runtime.GOMAXPROCS).
+	Workers int
+	// StreamPackets is the packet count for pure-detector experiments
+	// (Fig 2 and Fig 8; default 400k).
+	StreamPackets int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration == 0 {
+		o.Duration = 200 * sim.Millisecond
+	}
+	if o.ModelSeconds == 0 {
+		o.ModelSeconds = 60
+	}
+	if o.Cores == 0 {
+		o.Cores = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.StreamPackets == 0 {
+		o.StreamPackets = 400000
+	}
+	return o
+}
+
+// compression returns the TimeCompression factor that sweeps
+// ModelSeconds of dynamics within Duration.
+func (o Options) compression() float64 {
+	return o.ModelSeconds / o.Duration.Seconds()
+}
+
+// SchedKind names a scheduler under test.
+type SchedKind string
+
+// The schedulers the paper evaluates.
+const (
+	KindFCFS     SchedKind = "fcfs"
+	KindAFS      SchedKind = "afs"
+	KindLAPS     SchedKind = "laps"
+	KindHashOnly SchedKind = "hash-only"
+	KindOracle   SchedKind = "oracle" // Shi-style exact top-k
+)
+
+// TraceGroup is Table V's mapping of one trace per service.
+type TraceGroup struct {
+	Name    string
+	Sources [packet.NumServices]func() trace.Source
+}
+
+// traceGroups mirrors Table V with synthetic equivalents: G1/G2 use
+// CAIDA-like traces, G3/G4 Auckland-like.
+func traceGroups() []TraceGroup {
+	mkC := func(i int) func() trace.Source {
+		return func() trace.Source { return trace.CAIDALike(i) }
+	}
+	mkA := func(i int) func() trace.Source {
+		return func() trace.Source { return trace.AucklandLike(i) }
+	}
+	return []TraceGroup{
+		{Name: "G1", Sources: [packet.NumServices]func() trace.Source{mkC(1), mkC(2), mkC(3), mkC(4)}},
+		{Name: "G2", Sources: [packet.NumServices]func() trace.Source{mkC(5), mkC(6), mkC(2), mkC(3)}},
+		{Name: "G3", Sources: [packet.NumServices]func() trace.Source{mkA(1), mkA(2), mkA(3), mkA(4)}},
+		{Name: "G4", Sources: [packet.NumServices]func() trace.Source{mkA(5), mkA(6), mkA(7), mkA(8)}},
+	}
+}
+
+// Scenario is one cell of Table VI: a parameter set plus a trace group.
+type Scenario struct {
+	Name   string
+	Params [packet.NumServices]traffic.RateParams
+	Group  TraceGroup
+	// TargetUtil normalises the aggregate offered load to this fraction
+	// of the processor's ideal capacity (see calibrate); the paper's
+	// Mpps constants assume an exact hardware calibration we replicate
+	// by utilisation instead.
+	TargetUtil float64
+}
+
+// Scenarios returns Table VI's T1..T8. The paper lists T8 as Set2+G3,
+// which duplicates T7 and is almost certainly a typo for G4; we use G4.
+func Scenarios() []Scenario {
+	groups := traceGroups()
+	set1, set2 := traffic.Set1(), traffic.Set2()
+	const underUtil, overUtil = 0.72, 1.15
+	return []Scenario{
+		{Name: "T1", Params: set1, Group: groups[0], TargetUtil: underUtil},
+		{Name: "T2", Params: set1, Group: groups[1], TargetUtil: underUtil},
+		{Name: "T3", Params: set1, Group: groups[2], TargetUtil: underUtil},
+		{Name: "T4", Params: set1, Group: groups[3], TargetUtil: underUtil},
+		{Name: "T5", Params: set2, Group: groups[0], TargetUtil: overUtil},
+		{Name: "T6", Params: set2, Group: groups[1], TargetUtil: overUtil},
+		{Name: "T7", Params: set2, Group: groups[2], TargetUtil: overUtil},
+		{Name: "T8", Params: set2, Group: groups[3], TargetUtil: overUtil},
+	}
+}
+
+// meanChunks is E[floor(size/64)] under the default size mixture.
+func meanChunks() float64 {
+	var e, wsum float64
+	for _, p := range trace.DefaultSizes {
+		e += p.Weight * float64(p.Bytes/64)
+		wsum += p.Weight
+	}
+	return e / wsum
+}
+
+// meanProcTime returns the expected per-packet service time in seconds
+// for a service under the default size mixture.
+func meanProcTime(d npsim.ServiceDef) float64 {
+	t := float64(d.Base)
+	if d.PerChunk > 0 && d.ChunkBytes > 0 {
+		t += meanChunks() * float64(d.PerChunk)
+	}
+	return t / float64(sim.Second)
+}
+
+// calibrate computes the traffic RateScale that pins a scenario's
+// time-averaged demand (in core-equivalents) to TargetUtil × cores.
+// The paper's absolute Mpps constants presume the authors' exact
+// capacity; normalising by utilisation preserves the under/overload
+// *shape* on any configuration (DESIGN.md §2).
+func calibrate(sc Scenario, opts Options) float64 {
+	svcs := npsim.DefaultServices()
+	const steps = 600
+	modelDur := opts.ModelSeconds
+	var avgDemand float64 // core-equivalents
+	for i := 0; i < steps; i++ {
+		t := modelDur * (float64(i) + 0.5) / steps
+		for svc := 0; svc < packet.NumServices; svc++ {
+			rate := sc.Params[svc].Mean(t) * 1e6 // pps
+			if rate < 0 {
+				rate = 0
+			}
+			avgDemand += rate * meanProcTime(svcs[packet.ServiceID(svc)])
+		}
+	}
+	avgDemand /= steps
+	if avgDemand == 0 {
+		return 1
+	}
+	return sc.TargetUtil * float64(opts.Cores) / avgDemand
+}
+
+// RunResult is the outcome of one (scenario, scheduler) simulation.
+type RunResult struct {
+	Scenario  string
+	Scheduler string
+	Metrics   npsim.Metrics
+	Generated uint64
+	LapsStats *core.Stats // non-nil for LAPS runs
+	SchedMigr uint64      // migration-table insertions (AFS/oracle)
+}
+
+// buildScheduler constructs the scheduler and matching system config.
+func buildScheduler(kind SchedKind, opts Options, services int, oracleK int) (npsim.Scheduler, npsim.Config) {
+	cfg := npsim.DefaultConfig()
+	cfg.NumCores = opts.Cores
+	switch kind {
+	case KindFCFS:
+		cfg.SharedQueue = true
+		return sched.FCFS{}, cfg
+	case KindAFS:
+		return &sched.AFS{}, cfg
+	case KindHashOnly:
+		return sched.HashOnly{}, cfg
+	case KindOracle:
+		if oracleK == 0 {
+			oracleK = 16
+		}
+		return &sched.TopKOracle{K: oracleK}, cfg
+	case KindLAPS:
+		l := core.New(core.Config{
+			TotalCores: opts.Cores,
+			Services:   services,
+			AFD:        afd.Config{Seed: opts.Seed},
+		})
+		return l, cfg
+	default:
+		panic(fmt.Sprintf("exp: unknown scheduler kind %q", kind))
+	}
+}
+
+// runScenario simulates one scenario under one scheduler.
+func runScenario(sc Scenario, kind SchedKind, opts Options) RunResult {
+	opts = opts.withDefaults()
+	scheduler, cfg := buildScheduler(kind, opts, packet.NumServices, 0)
+	eng := sim.NewEngine()
+	var sys *npsim.System
+	if cfg.SharedQueue {
+		sys = npsim.New(eng, cfg, nil)
+	} else {
+		sys = npsim.New(eng, cfg, scheduler)
+	}
+
+	scale := calibrate(sc, opts)
+	var sources []traffic.ServiceSource
+	for svc := 0; svc < packet.NumServices; svc++ {
+		sources = append(sources, traffic.ServiceSource{
+			Service: packet.ServiceID(svc),
+			Params:  sc.Params[svc],
+			Trace:   sc.Group.Sources[svc](),
+		})
+	}
+	gen := traffic.NewGenerator(eng, traffic.Config{
+		Sources:         sources,
+		Duration:        opts.Duration,
+		TimeCompression: opts.compression(),
+		RateScale:       scale,
+		Seed:            opts.Seed,
+	}, sys.Inject)
+	gen.Start()
+	eng.Run()
+
+	res := RunResult{
+		Scenario:  sc.Name,
+		Scheduler: string(kind),
+		Metrics:   *sys.Metrics(),
+		Generated: gen.Generated(),
+	}
+	switch s := scheduler.(type) {
+	case *core.LAPS:
+		st := s.Stats()
+		res.LapsStats = &st
+	case *sched.AFS:
+		res.SchedMigr = s.TableMigrations()
+	case *sched.TopKOracle:
+		res.SchedMigr = s.TableMigrations()
+	}
+	return res
+}
+
+// parallelMap runs jobs concurrently (bounded by opts.Workers) and
+// returns results in job order.
+func parallelMap[T any](workers int, jobs int, run func(i int) T) []T {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]T, jobs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < jobs; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			out[i] = run(i)
+		}()
+	}
+	wg.Wait()
+	return out
+}

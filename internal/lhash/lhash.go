@@ -1,0 +1,89 @@
+// Package lhash implements the incremental hashing scheme of paper
+// §III-C, which is Litwin-style linear hashing: a service's map table has
+// b buckets; the hash of a key is
+//
+//	h(k) = h2(k) = H(k) mod 2m   if h1(k) < b-m
+//	h(k) = h1(k) = H(k) mod m    otherwise
+//
+// where m is the current round's base bucket count. Growing the table by
+// one bucket (allocating one more core to the service) splits exactly one
+// bucket — the one at the split pointer b-m — between its old index and
+// the new index b. All other keys keep their bucket, which is what keeps
+// flow migrations minimal when cores are added. When b reaches 2m the
+// round ends and m doubles ("the second hash function is modified to
+// h2(k) = CRC16(k)%4m"). Shrinking is the exact inverse.
+package lhash
+
+import "fmt"
+
+// Table tracks the (m, b) state of one service's incremental hash.
+// The zero value is invalid; use New.
+type Table struct {
+	base    int // m0: bucket count the table started with
+	m       int // current round's base modulus
+	buckets int // b: number of buckets currently in use, m <= b <= 2m (b >= 1)
+}
+
+// New returns a table with `initial` buckets. initial must be >= 1.
+// The paper initialises each service with m buckets and h1 = H mod m.
+func New(initial int) *Table {
+	if initial < 1 {
+		panic(fmt.Sprintf("lhash: initial bucket count %d < 1", initial))
+	}
+	return &Table{base: initial, m: initial, buckets: initial}
+}
+
+// Buckets returns b, the number of buckets currently addressable.
+func (t *Table) Buckets() int { return t.buckets }
+
+// Base returns the current round's modulus m.
+func (t *Table) Base() int { return t.m }
+
+// SplitPointer returns b-m, the index of the next bucket to be split by
+// Grow. Keys whose h1 falls below this value use h2.
+func (t *Table) SplitPointer() int { return t.buckets - t.m }
+
+// Index maps a hash value to a bucket in [0, Buckets()).
+func (t *Table) Index(h uint32) int {
+	h1 := int(h) % t.m
+	if h1 < t.buckets-t.m {
+		return int(h) % (2 * t.m)
+	}
+	return h1
+}
+
+// Grow adds one bucket, splitting the bucket at the split pointer. It
+// returns the index of the bucket that was split; keys previously in
+// that bucket are now divided between it and the new bucket Buckets()-1.
+func (t *Table) Grow() (split int) {
+	split = t.buckets - t.m
+	t.buckets++
+	if t.buckets == 2*t.m {
+		// Round complete: every bucket of this round has been split.
+		// Keep b == 2m representable by entering the next round only
+		// when the *next* grow happens; entering now keeps the split
+		// pointer at zero which is equivalent and simpler.
+		t.m *= 2
+	}
+	return split
+}
+
+// Shrink removes the last bucket, merging it back into the bucket it was
+// split from. It returns the index of the bucket that absorbs the keys.
+// Shrinking below one bucket panics.
+func (t *Table) Shrink() (merged int) {
+	if t.buckets <= 1 {
+		panic("lhash: cannot shrink below one bucket")
+	}
+	if t.buckets == t.m {
+		// Undo the round advance performed by Grow.
+		t.m /= 2
+	}
+	t.buckets--
+	return t.buckets - t.m
+}
+
+// String describes the table state, for logs and debugging.
+func (t *Table) String() string {
+	return fmt.Sprintf("lhash{m0=%d m=%d b=%d split=%d}", t.base, t.m, t.buckets, t.SplitPointer())
+}

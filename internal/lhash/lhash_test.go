@@ -1,0 +1,237 @@
+package lhash
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestInitialState(t *testing.T) {
+	tb := New(4)
+	if tb.Buckets() != 4 || tb.Base() != 4 || tb.SplitPointer() != 0 {
+		t.Fatalf("initial state %v, want m=4 b=4 split=0", tb)
+	}
+}
+
+func TestIndexInRange(t *testing.T) {
+	f := func(h uint32, ops []bool) bool {
+		tb := New(3)
+		for _, grow := range ops {
+			if grow {
+				tb.Grow()
+			} else if tb.Buckets() > 1 {
+				tb.Shrink()
+			}
+			idx := tb.Index(h)
+			if idx < 0 || idx >= tb.Buckets() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperHashRule(t *testing.T) {
+	// Directly check the §III-C definition for m=4, b=6 (two buckets split).
+	tb := New(4)
+	tb.Grow()
+	tb.Grow()
+	if tb.Buckets() != 6 || tb.Base() != 4 {
+		t.Fatalf("state %v, want m=4 b=6", tb)
+	}
+	for h := uint32(0); h < 1000; h++ {
+		h1 := int(h) % 4
+		var want int
+		if h1 < 6-4 {
+			want = int(h) % 8
+		} else {
+			want = h1
+		}
+		if got := tb.Index(h); got != want {
+			t.Fatalf("Index(%d) = %d, want %d", h, got, want)
+		}
+	}
+}
+
+// TestGrowMovesOnlySplitBucket is the paper's headline property: adding a
+// core disturbs only the flows of one bucket, and they can only move to
+// the new bucket.
+func TestGrowMovesOnlySplitBucket(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	keys := make([]uint32, 5000)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+	}
+	tb := New(4)
+	for step := 0; step < 40; step++ {
+		before := make([]int, len(keys))
+		for i, k := range keys {
+			before[i] = tb.Index(k)
+		}
+		oldB := tb.Buckets()
+		split := tb.Grow()
+		for i, k := range keys {
+			after := tb.Index(k)
+			if after == before[i] {
+				continue
+			}
+			if before[i] != split {
+				t.Fatalf("step %d: key %d moved from non-split bucket %d (split=%d)", step, k, before[i], split)
+			}
+			if after != oldB {
+				t.Fatalf("step %d: key %d moved to %d, want new bucket %d", step, k, after, oldB)
+			}
+		}
+	}
+}
+
+// TestShrinkIsInverseOfGrow: shrinking immediately after growing restores
+// every key's bucket, through several rounds of doubling.
+func TestShrinkIsInverseOfGrow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	keys := make([]uint32, 2000)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+	}
+	for _, initial := range []int{1, 2, 3, 4, 7} {
+		tb := New(initial)
+		// Walk up 30 buckets then back down, checking snapshots match.
+		var snaps [][]int
+		for step := 0; step < 30; step++ {
+			snap := make([]int, len(keys))
+			for i, k := range keys {
+				snap[i] = tb.Index(k)
+			}
+			snaps = append(snaps, snap)
+			tb.Grow()
+		}
+		for step := 29; step >= 0; step-- {
+			tb.Shrink()
+			for i, k := range keys {
+				if got := tb.Index(k); got != snaps[step][i] {
+					t.Fatalf("initial=%d step=%d key=%d: index %d after shrink, want %d",
+						initial, step, k, got, snaps[step][i])
+				}
+			}
+		}
+		if tb.Buckets() != initial {
+			t.Fatalf("initial=%d: buckets=%d after full unwind", initial, tb.Buckets())
+		}
+	}
+}
+
+func TestShrinkMergesIntoSplitSource(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	keys := make([]uint32, 3000)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+	}
+	tb := New(4)
+	for i := 0; i < 20; i++ {
+		tb.Grow()
+	}
+	for step := 0; step < 20; step++ {
+		before := make([]int, len(keys))
+		for i, k := range keys {
+			before[i] = tb.Index(k)
+		}
+		removed := tb.Buckets() - 1
+		merged := tb.Shrink()
+		for i, k := range keys {
+			after := tb.Index(k)
+			if after == before[i] {
+				continue
+			}
+			if before[i] != removed {
+				t.Fatalf("step %d: key from bucket %d moved (removed=%d)", step, before[i], removed)
+			}
+			if after != merged {
+				t.Fatalf("step %d: key moved to %d, want merge target %d", step, after, merged)
+			}
+		}
+	}
+}
+
+func TestShrinkBelowOnePanics(t *testing.T) {
+	tb := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shrink below 1 bucket did not panic")
+		}
+	}()
+	tb.Shrink()
+}
+
+func TestRoundDoubling(t *testing.T) {
+	tb := New(4)
+	for i := 0; i < 4; i++ {
+		tb.Grow()
+	}
+	if tb.Buckets() != 8 || tb.Base() != 8 {
+		t.Fatalf("after 4 grows from 4: %v, want b=8 m=8", tb)
+	}
+	for i := 0; i < 8; i++ {
+		tb.Grow()
+	}
+	if tb.Buckets() != 16 || tb.Base() != 16 {
+		t.Fatalf("after doubling again: %v, want b=16 m=16", tb)
+	}
+}
+
+func TestBalanceAcrossBuckets(t *testing.T) {
+	// With uniform hash input, occupancy should be near-uniform at any b.
+	rng := rand.New(rand.NewPCG(1, 2))
+	tb := New(4)
+	for _, grows := range []int{0, 3, 7, 12} {
+		tb2 := New(4)
+		for i := 0; i < grows; i++ {
+			tb2.Grow()
+		}
+		counts := make([]int, tb2.Buckets())
+		const n = 200000
+		for i := 0; i < n; i++ {
+			counts[tb2.Index(rng.Uint32())]++
+		}
+		// Buckets behind the split pointer are half-weight during a round;
+		// allow generous bounds: every bucket in [n/(4b), 2n/b].
+		b := tb2.Buckets()
+		for idx, c := range counts {
+			if c < n/(4*b) || c > 2*n/b {
+				t.Errorf("grows=%d bucket %d count %d outside [%d,%d]", grows, idx, c, n/(4*b), 2*n/b)
+			}
+		}
+	}
+	_ = tb
+}
+
+func TestStringFormat(t *testing.T) {
+	tb := New(4)
+	tb.Grow()
+	if got := tb.String(); got != "lhash{m0=4 m=4 b=5 split=1}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func BenchmarkIndex(b *testing.B) {
+	tb := New(4)
+	for i := 0; i < 7; i++ {
+		tb.Grow()
+	}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = tb.Index(uint32(i) * 2654435761)
+	}
+	_ = sink
+}

@@ -1,0 +1,124 @@
+// Package migtable implements the migration table: a small bounded map
+// from flow ID to an override core that takes priority over the hash map
+// table ("The scheduler gives priority to the output of migration table
+// over the default hash table", §III-A). Real designs bound this table,
+// so entries are evicted FIFO when it fills, and can optionally age out
+// so long-lived flows eventually fall back to their hash home.
+package migtable
+
+import (
+	"laps/internal/packet"
+	"laps/internal/sim"
+)
+
+type entry struct {
+	core  int
+	added sim.Time
+}
+
+// Table is a bounded flow→core override map. The zero value is invalid;
+// use New.
+type Table struct {
+	cap    int
+	ttl    sim.Time // 0 disables aging
+	m      map[packet.FlowKey]entry
+	order  []packet.FlowKey // FIFO insertion order (may contain stale keys)
+	evicts uint64
+}
+
+// New builds a table holding at most capacity entries. ttl > 0 enables
+// aging: entries expire ttl after insertion.
+func New(capacity int, ttl sim.Time) *Table {
+	if capacity < 1 {
+		panic("migtable: capacity must be >= 1")
+	}
+	return &Table{
+		cap: capacity,
+		ttl: ttl,
+		m:   make(map[packet.FlowKey]entry, capacity),
+	}
+}
+
+// Len returns the number of live entries.
+func (t *Table) Len() int { return len(t.m) }
+
+// Evictions returns how many entries have been displaced by capacity.
+func (t *Table) Evictions() uint64 { return t.evicts }
+
+// Get returns the override core for f, honouring TTL expiry.
+func (t *Table) Get(f packet.FlowKey, now sim.Time) (int, bool) {
+	e, ok := t.m[f]
+	if !ok {
+		return 0, false
+	}
+	if t.ttl > 0 && now-e.added >= t.ttl {
+		delete(t.m, f)
+		return 0, false
+	}
+	return e.core, true
+}
+
+// Put records that flow f is migrated to core. Re-putting an existing
+// flow updates it in place (refreshing its TTL) without consuming a new
+// FIFO slot.
+func (t *Table) Put(f packet.FlowKey, core int, now sim.Time) {
+	if _, ok := t.m[f]; ok {
+		t.m[f] = entry{core: core, added: now}
+		return
+	}
+	for len(t.m) >= t.cap {
+		t.evictOldest()
+	}
+	t.m[f] = entry{core: core, added: now}
+	t.order = append(t.order, f)
+}
+
+// evictOldest pops FIFO-order keys until one that is still live is
+// removed (keys already expired or updated leave stale order slots).
+func (t *Table) evictOldest() {
+	for len(t.order) > 0 {
+		f := t.order[0]
+		t.order = t.order[1:]
+		if _, ok := t.m[f]; ok {
+			delete(t.m, f)
+			t.evicts++
+			return
+		}
+	}
+	// Order exhausted but map non-empty can only happen if callers
+	// removed entries directly; rebuild order from the map.
+	for f := range t.m {
+		delete(t.m, f)
+		t.evicts++
+		return
+	}
+}
+
+// Remove drops flow f's override.
+func (t *Table) Remove(f packet.FlowKey) bool {
+	if _, ok := t.m[f]; !ok {
+		return false
+	}
+	delete(t.m, f)
+	return true
+}
+
+// RemoveCore drops every override pointing at the given core — used when
+// a core is reallocated to another service. Returns how many were
+// removed.
+func (t *Table) RemoveCore(core int) int {
+	n := 0
+	for f, e := range t.m {
+		if e.core == core {
+			delete(t.m, f)
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears the table.
+func (t *Table) Reset() {
+	t.m = make(map[packet.FlowKey]entry, t.cap)
+	t.order = t.order[:0]
+}

@@ -1,0 +1,119 @@
+package npsim
+
+import (
+	"laps/internal/packet"
+	"laps/internal/sim"
+	"laps/internal/stats"
+)
+
+// ReorderTracker detects out-of-order departures at egress: a packet is
+// out of order if some packet of the same flow with a *larger* flow
+// sequence number already departed. Dropped packets leave gaps but gaps
+// are not reorderings.
+type ReorderTracker struct {
+	// next[f] is one past the highest FlowSeq that has departed for f.
+	next      map[packet.FlowKey]uint64
+	ooo       uint64
+	delivered uint64
+}
+
+// NewReorderTracker returns an empty tracker.
+func NewReorderTracker() *ReorderTracker {
+	return &ReorderTracker{next: make(map[packet.FlowKey]uint64, 1<<14)}
+}
+
+// Record notes one departing packet and reports whether it was out of
+// order.
+func (r *ReorderTracker) Record(p *packet.Packet) bool {
+	r.delivered++
+	cur := r.next[p.Flow]
+	if p.FlowSeq+1 > cur {
+		r.next[p.Flow] = p.FlowSeq + 1
+		return false
+	}
+	r.ooo++
+	return true
+}
+
+// OutOfOrder returns the number of out-of-order departures so far.
+func (r *ReorderTracker) OutOfOrder() uint64 { return r.ooo }
+
+// Delivered returns the number of departures recorded.
+func (r *ReorderTracker) Delivered() uint64 { return r.delivered }
+
+// Metrics aggregates everything the paper's figures report.
+type Metrics struct {
+	Injected  uint64 // packets offered to the scheduler
+	Enqueued  uint64 // packets accepted into some queue
+	Dropped   uint64 // packets lost to full queues (Fig 7a / 9a)
+	Completed uint64 // packets fully processed
+
+	OutOfOrder  uint64 // out-of-order departures (Fig 7c / 9b)
+	ColdCache   uint64 // packets paying the I-cache cold penalty (Fig 7b)
+	Migrations  uint64 // flow-to-new-core transitions (Fig 9c)
+	FMPenalties uint64 // packets paying the flow-migration penalty
+
+	PerSvcInjected [packet.NumServices]uint64
+	PerSvcDropped  [packet.NumServices]uint64
+	PerSvcDone     [packet.NumServices]uint64
+
+	TotalLatency sim.Time // sum over completed packets of departure-arrival
+	BusyTime     sim.Time // sum of per-core busy time
+
+	// Latency is a log2 histogram (ns) of arrival→departure times per
+	// service, for tail-latency reporting ("latency sensitive network
+	// processors", paper §I).
+	Latency [packet.NumServices]stats.Histogram
+}
+
+// LatencyP99 returns an upper bound for the service's 99th-percentile
+// latency.
+func (m *Metrics) LatencyP99(s packet.ServiceID) sim.Time {
+	return sim.Time(m.Latency[s].Quantile(0.99))
+}
+
+// LatencyMean returns the service's mean latency.
+func (m *Metrics) LatencyMean(s packet.ServiceID) sim.Time {
+	return sim.Time(m.Latency[s].Mean())
+}
+
+// DropRate returns dropped/injected (0 when nothing was injected).
+func (m *Metrics) DropRate() float64 {
+	if m.Injected == 0 {
+		return 0
+	}
+	return float64(m.Dropped) / float64(m.Injected)
+}
+
+// OOORate returns out-of-order departures per completed packet.
+func (m *Metrics) OOORate() float64 {
+	if m.Completed == 0 {
+		return 0
+	}
+	return float64(m.OutOfOrder) / float64(m.Completed)
+}
+
+// ColdCacheRate returns the fraction of completed packets that paid the
+// cold-cache penalty.
+func (m *Metrics) ColdCacheRate() float64 {
+	if m.Completed == 0 {
+		return 0
+	}
+	return float64(m.ColdCache) / float64(m.Completed)
+}
+
+// MeanLatency returns the average arrival-to-departure latency.
+func (m *Metrics) MeanLatency() sim.Time {
+	if m.Completed == 0 {
+		return 0
+	}
+	return m.TotalLatency / sim.Time(m.Completed)
+}
+
+// Utilization returns aggregate core busy time divided by cores × span.
+func (m *Metrics) Utilization(cores int, span sim.Time) float64 {
+	if cores == 0 || span == 0 {
+		return 0
+	}
+	return float64(m.BusyTime) / (float64(cores) * float64(span))
+}

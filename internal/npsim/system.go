@@ -1,0 +1,368 @@
+package npsim
+
+import (
+	"fmt"
+
+	"laps/internal/packet"
+	"laps/internal/sim"
+	"laps/internal/stats"
+)
+
+// SharedTarget is returned by shared-queue schedulers (FCFS): the packet
+// joins a single global queue served by whichever core frees up first.
+const SharedTarget = -1
+
+// noService marks a core whose I-cache holds no program yet.
+const noService packet.ServiceID = 0xFF
+
+// View is the read-only system state a scheduler may consult when
+// placing a packet — mirroring what a hardware scheduler can see: the
+// clock, queue occupancies and core idle times.
+type View interface {
+	// Now returns the current simulation time.
+	Now() sim.Time
+	// NumCores returns the number of processing cores.
+	NumCores() int
+	// QueueLen returns core c's input-queue occupancy, including the
+	// packet currently being processed.
+	QueueLen(c int) int
+	// QueueCap returns the per-core input queue capacity.
+	QueueCap() int
+	// IdleFor returns how long core c has been completely idle (empty
+	// queue, nothing processing); zero if it is busy.
+	IdleFor(c int) sim.Time
+}
+
+// Scheduler decides the target core for each arriving packet.
+// Implementations live in internal/sched and internal/core.
+type Scheduler interface {
+	// Name identifies the scheduler in result tables.
+	Name() string
+	// Target returns the core for p, or SharedTarget to use the global
+	// shared queue (only valid when the system runs in shared mode).
+	Target(p *packet.Packet, v View) int
+}
+
+// Config parameterises the processor model. The defaults reproduce the
+// paper's setup: 16 cores, 32-descriptor queues (per [32]), 0.8 µs flow
+// migration penalty, 10 µs cold-cache penalty.
+type Config struct {
+	NumCores       int
+	QueueCap       int
+	FMPenalty      sim.Time
+	CCPenalty      sim.Time
+	Services       [packet.NumServices]ServiceDef
+	SharedQueue    bool // FCFS mode: one global queue feeds all cores
+	SharedQueueCap int  // 0 means NumCores × QueueCap
+}
+
+// DefaultConfig returns the paper's processor configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumCores:  16,
+		QueueCap:  32,
+		FMPenalty: 800,   // 0.8 µs: "four cache misses, conservatively"
+		CCPenalty: 10000, // 10 µs: cold I-cache refill for the smallest service
+		Services:  DefaultServices(),
+	}
+}
+
+// core is one IOP: an input queue (ring buffer) plus processing state.
+type core struct {
+	id        int
+	ring      []*packet.Packet
+	head, n   int
+	busy      bool
+	current   *packet.Packet
+	lastSvc   packet.ServiceID
+	idleSince sim.Time
+	busySince sim.Time
+
+	busyTotal sim.Time        // accumulated busy time
+	processed uint64          // packets completed on this core
+	idleHist  stats.Histogram // durations (ns) of completed idle intervals
+}
+
+func (c *core) queueLen() int {
+	n := c.n
+	if c.busy {
+		n++
+	}
+	return n
+}
+
+func (c *core) push(p *packet.Packet) bool {
+	if c.n == len(c.ring) {
+		return false
+	}
+	c.ring[(c.head+c.n)%len(c.ring)] = p
+	c.n++
+	return true
+}
+
+func (c *core) pop() *packet.Packet {
+	if c.n == 0 {
+		return nil
+	}
+	p := c.ring[c.head]
+	c.ring[c.head] = nil
+	c.head = (c.head + 1) % len(c.ring)
+	c.n--
+	return p
+}
+
+// System wires cores, a scheduler and the metric sinks onto a sim engine.
+type System struct {
+	eng   *sim.Engine
+	cfg   Config
+	sched Scheduler
+	cores []*core
+
+	shared    []*packet.Packet // FIFO shared queue (SharedQueue mode)
+	sharedCap int
+
+	flowLast map[packet.FlowKey]int32
+	reorder  *ReorderTracker
+	m        Metrics
+
+	// OnDepart, if set, observes every completed packet at departure.
+	OnDepart func(*packet.Packet)
+}
+
+// New builds a System. The scheduler may be nil only in SharedQueue mode.
+func New(eng *sim.Engine, cfg Config, sched Scheduler) *System {
+	if cfg.NumCores < 1 {
+		panic("npsim: need at least one core")
+	}
+	if cfg.QueueCap < 1 {
+		panic("npsim: need queue capacity >= 1")
+	}
+	if sched == nil && !cfg.SharedQueue {
+		panic("npsim: per-core mode requires a scheduler")
+	}
+	if cfg.SharedQueueCap == 0 {
+		cfg.SharedQueueCap = cfg.NumCores * cfg.QueueCap
+	}
+	s := &System{
+		eng:       eng,
+		cfg:       cfg,
+		sched:     sched,
+		sharedCap: cfg.SharedQueueCap,
+		flowLast:  make(map[packet.FlowKey]int32, 1<<14),
+		reorder:   NewReorderTracker(),
+	}
+	for i := 0; i < cfg.NumCores; i++ {
+		s.cores = append(s.cores, &core{
+			id:      i,
+			ring:    make([]*packet.Packet, cfg.QueueCap),
+			lastSvc: noService,
+		})
+	}
+	return s
+}
+
+// Engine returns the simulation engine the system runs on.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Metrics returns the live metrics (read after the engine drains).
+func (s *System) Metrics() *Metrics { return &s.m }
+
+// Scheduler returns the attached scheduler (nil in pure FCFS mode).
+func (s *System) Scheduler() Scheduler { return s.sched }
+
+// --- View implementation ---
+
+// Now returns the current simulation time.
+func (s *System) Now() sim.Time { return s.eng.Now() }
+
+// NumCores returns the core count.
+func (s *System) NumCores() int { return s.cfg.NumCores }
+
+// QueueLen returns core c's occupancy including in-service packets.
+func (s *System) QueueLen(c int) int { return s.cores[c].queueLen() }
+
+// QueueCap returns the per-core queue capacity.
+func (s *System) QueueCap() int { return s.cfg.QueueCap }
+
+// IdleFor returns how long core c has been idle.
+func (s *System) IdleFor(c int) sim.Time {
+	co := s.cores[c]
+	if co.busy || co.n > 0 {
+		return 0
+	}
+	return s.eng.Now() - co.idleSince
+}
+
+// Inject offers one packet to the scheduler; it is the traffic
+// generator's sink.
+func (s *System) Inject(p *packet.Packet) {
+	s.m.Injected++
+	s.m.PerSvcInjected[p.Service]++
+
+	if s.cfg.SharedQueue {
+		s.injectShared(p)
+		return
+	}
+	target := s.sched.Target(p, s)
+	if target == SharedTarget {
+		panic(fmt.Sprintf("npsim: scheduler %q returned SharedTarget in per-core mode", s.sched.Name()))
+	}
+	if target < 0 || target >= len(s.cores) {
+		panic(fmt.Sprintf("npsim: scheduler %q returned invalid core %d", s.sched.Name(), target))
+	}
+	s.enqueue(p, s.cores[target])
+}
+
+// enqueue places p on core co's queue, accounting migrations and drops.
+func (s *System) enqueue(p *packet.Packet, co *core) {
+	if co.n == len(co.ring) && co.busy {
+		s.m.Dropped++
+		s.m.PerSvcDropped[p.Service]++
+		return
+	}
+	if last, ok := s.flowLast[p.Flow]; ok && int(last) != co.id {
+		p.Migrated = true
+		s.m.Migrations++
+	}
+	s.flowLast[p.Flow] = int32(co.id)
+	p.Enqueued = s.eng.Now()
+	s.m.Enqueued++
+	if !co.busy {
+		// Core idle: begin processing immediately (the "queue" slot it
+		// occupies is the execution slot).
+		s.startProcessing(co, p)
+		return
+	}
+	co.push(p)
+}
+
+// injectShared implements the FCFS single shared queue.
+func (s *System) injectShared(p *packet.Packet) {
+	// Hand to an idle core directly if any.
+	for _, co := range s.cores {
+		if !co.busy {
+			if last, ok := s.flowLast[p.Flow]; ok && int(last) != co.id {
+				p.Migrated = true
+				s.m.Migrations++
+			}
+			s.flowLast[p.Flow] = int32(co.id)
+			p.Enqueued = s.eng.Now()
+			s.m.Enqueued++
+			s.startProcessing(co, p)
+			return
+		}
+	}
+	if len(s.shared) >= s.sharedCap {
+		s.m.Dropped++
+		s.m.PerSvcDropped[p.Service]++
+		return
+	}
+	p.Enqueued = s.eng.Now()
+	s.m.Enqueued++
+	s.shared = append(s.shared, p)
+}
+
+// startProcessing begins service of p on core co and schedules completion.
+func (s *System) startProcessing(co *core, p *packet.Packet) {
+	if co.idleSince >= 0 {
+		// Close the idle interval that ends now.
+		co.idleHist.Add(int64(s.eng.Now() - co.idleSince))
+		co.idleSince = -1
+	}
+	d := s.cfg.Services[p.Service].ProcTime(p.Size)
+	if p.Migrated {
+		d += s.cfg.FMPenalty
+		s.m.FMPenalties++
+	}
+	if co.lastSvc != p.Service {
+		d += s.cfg.CCPenalty
+		p.ColdMiss = true
+		s.m.ColdCache++
+	}
+	co.lastSvc = p.Service
+	co.busy = true
+	co.current = p
+	co.busySince = s.eng.Now()
+	s.eng.After(d, func() { s.complete(co) })
+}
+
+// complete finishes the in-service packet on co and pulls the next one.
+func (s *System) complete(co *core) {
+	p := co.current
+	co.current = nil
+	co.busy = false
+	busy := s.eng.Now() - co.busySince
+	s.m.BusyTime += busy
+	co.busyTotal += busy
+	co.processed++
+
+	p.Departed = s.eng.Now()
+	s.m.Completed++
+	s.m.PerSvcDone[p.Service]++
+	s.m.TotalLatency += p.Departed - p.Arrival
+	s.m.Latency[p.Service].Add(int64(p.Departed - p.Arrival))
+	if s.reorder.Record(p) {
+		s.m.OutOfOrder++
+	}
+	if s.OnDepart != nil {
+		s.OnDepart(p)
+	}
+
+	// Pull the next packet: from the own ring, or the shared queue.
+	if next := co.pop(); next != nil {
+		co.idleSince = -1
+		s.startProcessing(co, next)
+		return
+	}
+	if s.cfg.SharedQueue && len(s.shared) > 0 {
+		next := s.shared[0]
+		copy(s.shared, s.shared[1:])
+		s.shared = s.shared[:len(s.shared)-1]
+		if last, ok := s.flowLast[next.Flow]; ok && int(last) != co.id {
+			next.Migrated = true
+			s.m.Migrations++
+		}
+		s.flowLast[next.Flow] = int32(co.id)
+		s.startProcessing(co, next)
+		return
+	}
+	co.idleSince = s.eng.Now()
+}
+
+// CoreReport is a per-core activity snapshot for energy and balance
+// analysis.
+type CoreReport struct {
+	ID        int
+	BusyTime  sim.Time
+	Processed uint64
+	// IdleIntervals is a log2 histogram (ns) of the core's completed
+	// idle-gap durations; an interval open at snapshot time is closed at
+	// the snapshot instant.
+	IdleIntervals stats.Histogram
+}
+
+// CoreReports snapshots every core's activity as of now.
+func (s *System) CoreReports() []CoreReport {
+	out := make([]CoreReport, len(s.cores))
+	for i, co := range s.cores {
+		r := CoreReport{ID: co.id, BusyTime: co.busyTotal, Processed: co.processed}
+		r.IdleIntervals = co.idleHist
+		if !co.busy && co.n == 0 && co.idleSince >= 0 {
+			r.IdleIntervals.Add(int64(s.eng.Now() - co.idleSince))
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// InFlight returns the number of packets currently queued or in service.
+func (s *System) InFlight() int {
+	n := len(s.shared)
+	for _, co := range s.cores {
+		n += co.queueLen()
+	}
+	return n
+}

@@ -1,0 +1,313 @@
+// Package plot renders experiment tables as standalone SVG charts, so
+// the harness can regenerate the paper's *figures*, not only their
+// numbers. Pure stdlib string assembly; output is deterministic for a
+// given table.
+//
+// The convention matches exp.Table: the first column holds category
+// labels (x values), every further column that parses as a number
+// (optionally suffixed with %) becomes one series.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Options control chart geometry and labelling.
+type Options struct {
+	// Title defaults to the table title.
+	Title string
+	// Width and Height of the SVG canvas; 0 means 720×420.
+	Width, Height int
+	// YLabel annotates the y axis.
+	YLabel string
+	// LogX renders line-chart x positions on a log2 scale (Fig 8a).
+	LogX bool
+}
+
+func (o Options) withDefaults(title string) Options {
+	if o.Title == "" {
+		o.Title = title
+	}
+	if o.Width == 0 {
+		o.Width = 720
+	}
+	if o.Height == 0 {
+		o.Height = 420
+	}
+	return o
+}
+
+// series palette (colour-blind friendly).
+var palette = []string{"#4477AA", "#EE6677", "#228833", "#CCBB44", "#66CCEE", "#AA3377"}
+
+// Series is one plottable column.
+type Series struct {
+	Name   string
+	Values []float64 // NaN = missing
+}
+
+// Data adapts raw columns/rows into labels and numeric series.
+// Non-numeric columns (other than the first) are dropped.
+func Data(columns []string, rows [][]string) (labels []string, series []Series) {
+	if len(columns) < 2 {
+		return nil, nil
+	}
+	for _, row := range rows {
+		if len(row) > 0 {
+			labels = append(labels, row[0])
+		}
+	}
+	for c := 1; c < len(columns); c++ {
+		s := Series{Name: columns[c]}
+		numeric := false
+		for _, row := range rows {
+			v := math.NaN()
+			if c < len(row) {
+				if f, ok := parseNumeric(row[c]); ok {
+					v = f
+					numeric = true
+				}
+			}
+			s.Values = append(s.Values, v)
+		}
+		if numeric {
+			series = append(series, s)
+		}
+	}
+	return labels, series
+}
+
+// parseNumeric accepts plain floats, percentages, and counts.
+func parseNumeric(cell string) (float64, bool) {
+	cell = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(cell), "%"))
+	if cell == "" || cell == "-" {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// svgBuilder accumulates elements with a fixed header/footer.
+type svgBuilder struct {
+	b    strings.Builder
+	w, h int
+}
+
+func newSVG(w, h int) *svgBuilder {
+	s := &svgBuilder{w: w, h: h}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`, w, h, w, h)
+	fmt.Fprintf(&s.b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	return s
+}
+
+func (s *svgBuilder) text(x, y float64, size int, anchor, text string) {
+	fmt.Fprintf(&s.b, `<text x="%.1f" y="%.1f" font-size="%d" text-anchor="%s">%s</text>`,
+		x, y, size, anchor, escape(text))
+}
+
+func (s *svgBuilder) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`,
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (s *svgBuilder) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+		x, y, w, h, fill)
+}
+
+func (s *svgBuilder) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&s.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`, x, y, r, fill)
+}
+
+func (s *svgBuilder) done() []byte {
+	s.b.WriteString("</svg>")
+	return []byte(s.b.String())
+}
+
+func escape(t string) string {
+	t = strings.ReplaceAll(t, "&", "&amp;")
+	t = strings.ReplaceAll(t, "<", "&lt;")
+	t = strings.ReplaceAll(t, ">", "&gt;")
+	return t
+}
+
+// frame computes the plot area and draws axes, title, y ticks and legend.
+func frame(s *svgBuilder, o Options, series []Series, maxY float64) (x0, y0, pw, ph float64) {
+	const left, right, top, bottom = 70.0, 20.0, 50.0, 70.0
+	x0 = left
+	y0 = float64(o.Height) - bottom
+	pw = float64(o.Width) - left - right
+	ph = float64(o.Height) - top - bottom
+
+	s.text(float64(o.Width)/2, 26, 16, "middle", o.Title)
+	// axes
+	s.line(x0, y0, x0+pw, y0, "#333", 1.5)
+	s.line(x0, y0, x0, y0-ph, "#333", 1.5)
+	if o.YLabel != "" {
+		fmt.Fprintf(&s.b, `<text x="18" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 18 %.1f)">%s</text>`,
+			y0-ph/2, y0-ph/2, escape(o.YLabel))
+	}
+	// y ticks: 5 divisions
+	for i := 0; i <= 5; i++ {
+		v := maxY * float64(i) / 5
+		y := y0 - ph*float64(i)/5
+		s.line(x0-4, y, x0, y, "#333", 1)
+		s.line(x0, y, x0+pw, y, "#DDD", 0.5)
+		s.text(x0-8, y+4, 11, "end", trimFloat(v))
+	}
+	// legend
+	lx := x0 + 10
+	for i, sr := range series {
+		s.rect(lx, 34, 12, 12, palette[i%len(palette)])
+		s.text(lx+16, 44, 12, "start", sr.Name)
+		lx += 16 + float64(9*len(sr.Name)) + 18
+	}
+	return x0, y0, pw, ph
+}
+
+func trimFloat(v float64) string {
+	out := strconv.FormatFloat(v, 'g', 4, 64)
+	return out
+}
+
+// maxOf returns the largest finite value across series (minimum 1e-9).
+func maxOf(series []Series) float64 {
+	max := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1e-9
+	}
+	return max
+}
+
+// BarChart renders grouped bars: one group per label, one bar per series.
+func BarChart(title string, columns []string, rows [][]string, o Options) ([]byte, error) {
+	labels, series := Data(columns, rows)
+	if len(labels) == 0 || len(series) == 0 {
+		return nil, fmt.Errorf("plot: no numeric series in table %q", title)
+	}
+	o = o.withDefaults(title)
+	s := newSVG(o.Width, o.Height)
+	maxY := maxOf(series)
+	x0, y0, pw, ph := frame(s, o, series, maxY)
+
+	groups := len(labels)
+	groupW := pw / float64(groups)
+	barW := groupW * 0.8 / float64(len(series))
+	for gi, label := range labels {
+		gx := x0 + groupW*float64(gi) + groupW*0.1
+		for si, sr := range series {
+			v := sr.Values[gi]
+			if math.IsNaN(v) {
+				continue
+			}
+			h := ph * v / maxY
+			s.rect(gx+barW*float64(si), y0-h, barW*0.92, h, palette[si%len(palette)])
+		}
+		s.text(x0+groupW*(float64(gi)+0.5), y0+18, 11, "middle", label)
+	}
+	return s.done(), nil
+}
+
+// LineChart renders one polyline per series over the labels' positions.
+// With Options.LogX the x positions use log2 of the (numeric) labels.
+func LineChart(title string, columns []string, rows [][]string, o Options) ([]byte, error) {
+	labels, series := Data(columns, rows)
+	if len(labels) < 2 || len(series) == 0 {
+		return nil, fmt.Errorf("plot: need >= 2 points and one series in %q", title)
+	}
+	o = o.withDefaults(title)
+	s := newSVG(o.Width, o.Height)
+	maxY := maxOf(series)
+	x0, y0, pw, ph := frame(s, o, series, maxY)
+
+	// x positions
+	xs := make([]float64, len(labels))
+	if o.LogX {
+		vals := make([]float64, len(labels))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, l := range labels {
+			v, ok := parseNumeric(l)
+			if !ok || v <= 0 {
+				return nil, fmt.Errorf("plot: label %q not positive-numeric for LogX", l)
+			}
+			vals[i] = math.Log2(v)
+			lo, hi = math.Min(lo, vals[i]), math.Max(hi, vals[i])
+		}
+		span := hi - lo
+		if span == 0 {
+			span = 1
+		}
+		for i := range xs {
+			xs[i] = x0 + pw*(vals[i]-lo)/span
+		}
+	} else {
+		for i := range xs {
+			xs[i] = x0 + pw*float64(i)/float64(len(labels)-1)
+		}
+	}
+	for i, l := range labels {
+		s.line(xs[i], y0, xs[i], y0+4, "#333", 1)
+		s.text(xs[i], y0+18, 11, "middle", l)
+	}
+	for si, sr := range series {
+		color := palette[si%len(palette)]
+		var points []string
+		for i, v := range sr.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			y := y0 - ph*v/maxY
+			points = append(points, fmt.Sprintf("%.1f,%.1f", xs[i], y))
+			s.circle(xs[i], y, 3, color)
+		}
+		fmt.Fprintf(&s.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.Join(points, " "), color)
+	}
+	return s.done(), nil
+}
+
+// Auto picks a chart form for a table: a line chart when every label is
+// numeric (log2 x-axis if the labels look like a doubling sweep, as in
+// Fig 8a's annex sizes), a grouped bar chart otherwise.
+func Auto(title string, columns []string, rows [][]string, o Options) ([]byte, error) {
+	labels, _ := Data(columns, rows)
+	if len(labels) >= 2 {
+		numeric := true
+		vals := make([]float64, 0, len(labels))
+		for _, l := range labels {
+			v, ok := parseNumeric(l)
+			if !ok || v <= 0 {
+				numeric = false
+				break
+			}
+			vals = append(vals, v)
+		}
+		if numeric {
+			// Doubling sweep? Check the ratio spread.
+			doubling := true
+			for i := 1; i < len(vals); i++ {
+				r := vals[i] / vals[i-1]
+				if r < 1.5 || r > 4 {
+					doubling = false
+					break
+				}
+			}
+			o.LogX = doubling
+			return LineChart(title, columns, rows, o)
+		}
+	}
+	return BarChart(title, columns, rows, o)
+}

@@ -1,0 +1,194 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	cols = []string{"scenario", "fcfs%", "laps%"}
+	rows = [][]string{
+		{"T1", "50.95%", "4.92%"},
+		{"T2", "51.02%", "5.42%"},
+		{"T3", "51.05%", "-"},
+	}
+)
+
+func TestDataExtractsSeries(t *testing.T) {
+	labels, series := Data(cols, rows)
+	if len(labels) != 3 || labels[0] != "T1" {
+		t.Fatalf("labels = %v", labels)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	if series[0].Name != "fcfs%" || series[0].Values[0] != 50.95 {
+		t.Fatalf("series[0] = %+v", series[0])
+	}
+	// "-" becomes NaN, not zero.
+	if !math.IsNaN(series[1].Values[2]) {
+		t.Fatalf("missing cell parsed as %v", series[1].Values[2])
+	}
+}
+
+func TestDataDropsNonNumericColumns(t *testing.T) {
+	c := []string{"trace", "name", "count"}
+	r := [][]string{{"a", "foo", "3"}, {"b", "bar", "5"}}
+	_, series := Data(c, r)
+	if len(series) != 1 || series[0].Name != "count" {
+		t.Fatalf("series = %+v", series)
+	}
+}
+
+func TestParseNumeric(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"42", 42, true},
+		{"3.5%", 3.5, true},
+		{" 7 ", 7, true},
+		{"-", 0, false},
+		{"", 0, false},
+		{"abc", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseNumeric(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseNumeric(%q) = %v,%v", c.in, got, ok)
+		}
+	}
+}
+
+// wellFormed checks the SVG parses as XML and contains expected marks.
+func wellFormed(t *testing.T, svg []byte, wants ...string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(string(svg)))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed XML: %v", err)
+		}
+	}
+	for _, w := range wants {
+		if !strings.Contains(string(svg), w) {
+			t.Fatalf("SVG missing %q", w)
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	svg, err := BarChart("Fig 7a", cols, rows, Options{YLabel: "drop %"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg, "<svg", "Fig 7a", "drop %", "T1", "T3", "rect")
+	// Two series → both palette colours appear.
+	for _, color := range palette[:2] {
+		if !strings.Contains(string(svg), color) {
+			t.Fatalf("missing series colour %s", color)
+		}
+	}
+}
+
+func TestBarChartDeterministic(t *testing.T) {
+	a, _ := BarChart("t", cols, rows, Options{})
+	b, _ := BarChart("t", cols, rows, Options{})
+	if string(a) != string(b) {
+		t.Fatal("identical inputs produced different SVGs")
+	}
+}
+
+func TestBarChartRejectsEmpty(t *testing.T) {
+	if _, err := BarChart("e", []string{"only"}, nil, Options{}); err == nil {
+		t.Fatal("empty table accepted")
+	}
+	if _, err := BarChart("e", []string{"a", "b"}, [][]string{{"x", "nan-ish"}}, Options{}); err == nil {
+		t.Fatal("non-numeric table accepted")
+	}
+}
+
+func TestLineChartLinear(t *testing.T) {
+	c := []string{"x", "y"}
+	r := [][]string{{"1", "10"}, {"2", "20"}, {"3", "15"}}
+	svg, err := LineChart("line", c, r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg, "polyline", "circle")
+}
+
+func TestLineChartLogX(t *testing.T) {
+	c := []string{"annex", "caida"}
+	r := [][]string{{"64", "0.56"}, {"128", "0.44"}, {"256", "0.38"}, {"512", "0.19"}, {"1024", "0.06"}}
+	svg, err := LineChart("Fig 8a", c, r, Options{LogX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg, "polyline", "64", "1024")
+	// Log spacing: gap between 64 and 128 equals gap between 512 and 1024.
+	// (Both are one doubling.) Extract circle x coords.
+	xs := circleXs(string(svg))
+	if len(xs) != 5 {
+		t.Fatalf("circles = %d", len(xs))
+	}
+	d1 := xs[1] - xs[0]
+	d2 := xs[4] - xs[3]
+	if math.Abs(d1-d2) > 0.5 {
+		t.Fatalf("log spacing broken: %v vs %v", d1, d2)
+	}
+}
+
+func TestLineChartRejectsBadLogLabels(t *testing.T) {
+	c := []string{"x", "y"}
+	r := [][]string{{"foo", "1"}, {"bar", "2"}}
+	if _, err := LineChart("l", c, r, Options{LogX: true}); err == nil {
+		t.Fatal("non-numeric labels accepted for LogX")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b&c>d`); got != "a&lt;b&amp;c&gt;d" {
+		t.Fatalf("escape = %q", got)
+	}
+}
+
+// circleXs pulls cx values out of the SVG in order.
+func circleXs(svg string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(svg, `<circle cx="`)[1:] {
+		end := strings.Index(part, `"`)
+		if v, err := strconv.ParseFloat(part[:end], 64); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestAutoPicksForms(t *testing.T) {
+	// Doubling numeric labels → log line chart.
+	c := []string{"annex", "fpr"}
+	r := [][]string{{"64", "0.5"}, {"128", "0.4"}, {"256", "0.2"}, {"512", "0.1"}}
+	svg, err := Auto("a", c, r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "polyline") {
+		t.Fatal("doubling labels did not produce a line chart")
+	}
+	// Categorical labels → bars.
+	svg, err = Auto("b", cols, rows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(svg), "polyline") {
+		t.Fatal("categorical labels produced a line chart")
+	}
+}

@@ -1,0 +1,174 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"laps/internal/npsim"
+	"laps/internal/packet"
+	"laps/internal/sim"
+	"laps/internal/stats"
+)
+
+// mkReport fabricates a core report with the given busy time and idle
+// intervals.
+func mkReport(id int, busy sim.Time, idles []sim.Time) npsim.CoreReport {
+	r := npsim.CoreReport{ID: id, BusyTime: busy}
+	var h stats.Histogram
+	for _, d := range idles {
+		h.Add(int64(d))
+	}
+	r.IdleIntervals = h
+	return r
+}
+
+func TestDefaultModelSane(t *testing.T) {
+	m := DefaultModel()
+	if m.ActiveWatts <= m.IdleWatts || m.IdleWatts <= m.SleepWatts {
+		t.Fatalf("power ordering broken: %+v", m)
+	}
+	if m.WakeLatency <= 0 || m.GateThreshold <= 0 {
+		t.Fatal("latencies must be positive")
+	}
+}
+
+func TestFullyBusyCore(t *testing.T) {
+	m := DefaultModel()
+	span := sim.Second
+	est := Analyze([]npsim.CoreReport{mkReport(0, span, nil)}, span, m)
+	want := m.ActiveWatts // 1 s at active power
+	if math.Abs(est.WithGating-want) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", est.WithGating, want)
+	}
+	if est.Savings() > 1e-9 {
+		t.Fatalf("savings %v for a fully busy core", est.Savings())
+	}
+}
+
+func TestFullyIdleCoreGates(t *testing.T) {
+	m := DefaultModel()
+	span := sim.Second
+	// One long idle interval spanning the whole run.
+	est := Analyze([]npsim.CoreReport{mkReport(0, 0, []sim.Time{span})}, span, m)
+	// Gated for ~(1s - threshold): energy ≈ threshold*idle + rest*sleep + wake.
+	thr := nsToSec(float64(m.GateThreshold))
+	want := thr*m.IdleWatts + (1-thr)*m.SleepWatts +
+		nsToSec(float64(m.WakeLatency))*m.ActiveWatts
+	if math.Abs(est.WithGating-want) > 1e-6 {
+		t.Fatalf("energy = %v, want %v", est.WithGating, want)
+	}
+	if est.Savings() < 0.8 {
+		t.Fatalf("savings %v, want > 0.8 for an idle core", est.Savings())
+	}
+	if est.GatedFraction < 0.9 {
+		t.Fatalf("gated fraction %v", est.GatedFraction)
+	}
+}
+
+func TestShortIdleGapsDoNotGate(t *testing.T) {
+	m := DefaultModel() // threshold 100us
+	span := sim.Time(100 * sim.Millisecond)
+	// 1000 gaps of 50us each: all below threshold → no gating.
+	idles := make([]sim.Time, 1000)
+	for i := range idles {
+		idles[i] = 50 * sim.Microsecond
+	}
+	est := Analyze([]npsim.CoreReport{mkReport(0, span/2, idles)}, span, m)
+	if est.GatedFraction != 0 {
+		t.Fatalf("gated fraction %v for sub-threshold gaps", est.GatedFraction)
+	}
+	if est.Cores[0].Wake != 0 {
+		t.Fatal("wake energy billed without gating")
+	}
+}
+
+func TestConcentratedIdleBeatsFragmented(t *testing.T) {
+	// The LAPS story: same total idle time, but concentrated into long
+	// intervals (a surplus core) saves much more than fragmented gaps.
+	m := DefaultModel()
+	span := sim.Time(200 * sim.Millisecond)
+	busy := span / 2
+
+	frag := make([]sim.Time, 2000) // 2000 × 50 µs = 100 ms idle
+	for i := range frag {
+		frag[i] = 50 * sim.Microsecond
+	}
+	conc := []sim.Time{100 * sim.Millisecond} // one 100 ms block
+
+	eFrag := Analyze([]npsim.CoreReport{mkReport(0, busy, frag)}, span, m)
+	eConc := Analyze([]npsim.CoreReport{mkReport(0, busy, conc)}, span, m)
+	if eConc.WithGating >= eFrag.WithGating {
+		t.Fatalf("concentrated idle %.4g J not below fragmented %.4g J",
+			eConc.WithGating, eFrag.WithGating)
+	}
+	if eConc.Savings() < 0.2 {
+		t.Fatalf("concentrated savings %v too small", eConc.Savings())
+	}
+}
+
+func TestResidualTimeCountedAsIdle(t *testing.T) {
+	m := DefaultModel()
+	span := sim.Second
+	// Report covers only half the span: the remainder must be billed as idle,
+	// keeping with/without comparable.
+	est := Analyze([]npsim.CoreReport{mkReport(0, span/2, nil)}, span, m)
+	want := 0.5*m.ActiveWatts + 0.5*m.IdleWatts
+	if math.Abs(est.WithGating-want) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", est.WithGating, want)
+	}
+	if math.Abs(est.WithoutGating-want) > 1e-9 {
+		t.Fatalf("baseline = %v, want %v", est.WithoutGating, want)
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	est := Analyze([]npsim.CoreReport{mkReport(0, sim.Second, nil)}, sim.Second, DefaultModel())
+	if est.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestEndToEndWithSimulator(t *testing.T) {
+	// Run a tiny simulation and verify the reports integrate cleanly.
+	eng := sim.NewEngine()
+	cfg := npsim.DefaultConfig()
+	cfg.NumCores = 2
+	sys := npsim.New(eng, cfg, pin0{})
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.At(sim.Time(i)*10*sim.Microsecond, func() {
+			sys.Inject(&packet.Packet{
+				ID: uint64(i + 1), Flow: packet.FlowKey{SrcIP: 1},
+				Service: packet.SvcIPForward, Size: 64,
+				Arrival: eng.Now(), FlowSeq: uint64(i),
+			})
+		})
+	}
+	eng.Run()
+	span := eng.Now()
+	reports := sys.CoreReports()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].BusyTime == 0 || reports[0].Processed != 10 {
+		t.Fatalf("core 0 report %+v", reports[0])
+	}
+	if reports[1].BusyTime != 0 {
+		t.Fatal("core 1 was never used but reports busy time")
+	}
+	m := DefaultModel()
+	m.GateThreshold = 5 * sim.Microsecond
+	est := Analyze(reports, span, m)
+	if est.WithGating <= 0 || est.WithGating > est.WithoutGating {
+		t.Fatalf("estimate %v", est)
+	}
+	// Core 1 idled the entire run in one block → mostly gated.
+	if est.Cores[1].GatedNS == 0 {
+		t.Fatal("idle core never gated")
+	}
+}
+
+type pin0 struct{}
+
+func (pin0) Name() string                          { return "pin0" }
+func (pin0) Target(*packet.Packet, npsim.View) int { return 0 }

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"laps/internal/crc"
+	"laps/internal/npsim"
+	"laps/internal/packet"
+	"laps/internal/sim"
+)
+
+// AdaptiveHash implements Shi & Kencl's sequence-preserving adaptive
+// load balancer (paper refs [22], [36]): flows hash into a fixed set of
+// *bundles* (hash buckets), bundles map to cores, and the mapping adapts
+// — periodically the heaviest bundle is moved from the most-loaded core
+// to the least-loaded one. Adaptation is coarser than per-flow migration
+// (a whole bundle moves at once, reordering all its flows briefly) but
+// needs no per-flow state at all. The paper calls this approach
+// "complementary to LAPS"; it is included as an extension baseline.
+type AdaptiveHash struct {
+	// Buckets is the bundle count; 0 means 256.
+	Buckets int
+	// Interval is the adaptation period; 0 means 50 µs.
+	Interval sim.Time
+	// Decay halves bundle counters at each adaptation so the load
+	// estimate tracks recent traffic. Fixed on; exposed for tests.
+	NoDecay bool
+
+	bucketCore []int
+	counts     []uint64
+	last       sim.Time
+	moves      uint64
+}
+
+// Name identifies the scheduler.
+func (a *AdaptiveHash) Name() string { return "adaptive-hash" }
+
+// BundleMoves reports how many bundle reassignments have happened.
+func (a *AdaptiveHash) BundleMoves() uint64 { return a.moves }
+
+func (a *AdaptiveHash) init(v npsim.View) {
+	if a.bucketCore != nil {
+		return
+	}
+	if a.Buckets == 0 {
+		a.Buckets = 256
+	}
+	if a.Interval == 0 {
+		a.Interval = 50 * sim.Microsecond
+	}
+	a.bucketCore = make([]int, a.Buckets)
+	a.counts = make([]uint64, a.Buckets)
+	for b := range a.bucketCore {
+		a.bucketCore[b] = b % v.NumCores()
+	}
+	a.last = v.Now()
+}
+
+// Target implements npsim.Scheduler.
+func (a *AdaptiveHash) Target(p *packet.Packet, v npsim.View) int {
+	a.init(v)
+	b := int(crc.FlowHash(p.Flow)) % a.Buckets
+	a.counts[b]++
+	if v.Now()-a.last >= a.Interval {
+		a.adapt(v)
+		a.last = v.Now()
+	}
+	return a.bucketCore[b]
+}
+
+// adapt moves the heaviest bundle of the most-loaded core to the
+// least-loaded core, then decays the counters.
+func (a *AdaptiveHash) adapt(v npsim.View) {
+	n := v.NumCores()
+	load := make([]uint64, n)
+	for b, c := range a.bucketCore {
+		load[c] += a.counts[b]
+	}
+	maxC, minC := 0, 0
+	for c := 1; c < n; c++ {
+		if load[c] > load[maxC] {
+			maxC = c
+		}
+		if load[c] < load[minC] {
+			minC = c
+		}
+	}
+	if maxC == minC {
+		return
+	}
+	// Hysteresis: adapt only with enough samples and a significant
+	// imbalance (>33% of the hot core's load); otherwise counter noise
+	// would shuffle bundles endlessly under uniform traffic.
+	const minSamples = 128
+	imb := load[maxC] - load[minC]
+	if load[maxC] < minSamples || imb*3 < load[maxC] {
+		return
+	}
+	// Heaviest bundle on the hot core — but only move it if doing so
+	// does not overshoot (classic largest-fit heuristic: the moved load
+	// must be at most the imbalance).
+	imbalance := imb
+	best, bestCount := -1, uint64(0)
+	for b, c := range a.bucketCore {
+		if c != maxC {
+			continue
+		}
+		if a.counts[b] > bestCount && a.counts[b] <= imbalance {
+			best, bestCount = b, a.counts[b]
+		}
+	}
+	if best >= 0 && bestCount > 0 {
+		a.bucketCore[best] = minC
+		a.moves++
+	}
+	if !a.NoDecay {
+		for b := range a.counts {
+			a.counts[b] /= 2
+		}
+	}
+}

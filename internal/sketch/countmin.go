@@ -1,0 +1,161 @@
+// Package sketch implements the counter-based heavy-hitter detectors the
+// paper's related work surveys as alternatives to the AFD (§VI: "There
+// have been extensive researches on reducing the overheads of keeping
+// per flow counters [27],[18],[12],[41],[40] to find the accurate
+// estimate of the rates of aggressive flows"):
+//
+//   - CountMin: a d×w counter-array sketch (Cormode–Muthukrishnan, in
+//     the spirit of Estan–Varghese multistage filters [12]) paired with
+//     a top-k candidate heap;
+//   - SpaceSaving: the stream-summary algorithm keeping exactly k
+//     counters with min-replacement.
+//
+// They let the ablation experiments compare the AFD's two-level cache
+// against the counting approaches it claims to sidestep ("LAPS merely
+// needs to identify the top aggressive flows without accurately
+// estimating the rates of all flows").
+package sketch
+
+import (
+	"encoding/binary"
+
+	"laps/internal/packet"
+)
+
+// CountMin is a conservative-update count-min sketch over flow keys.
+type CountMin struct {
+	width int
+	depth int
+	rows  [][]uint32
+	seeds []uint64
+	total uint64
+}
+
+// NewCountMin builds a sketch with the given width (counters per row)
+// and depth (independent rows). Both must be >= 1.
+func NewCountMin(width, depth int) *CountMin {
+	if width < 1 || depth < 1 {
+		panic("sketch: CountMin needs width and depth >= 1")
+	}
+	c := &CountMin{width: width, depth: depth}
+	seed := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < depth; i++ {
+		c.rows = append(c.rows, make([]uint32, width))
+		seed = mix64(seed + 0xA24BAED4963EE407)
+		c.seeds = append(c.seeds, seed)
+	}
+	return c
+}
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// index returns row i's counter index for flow f. Each row uses an
+// independently seeded 64-bit mix — unlike salted CRCs, whose linearity
+// would make all rows collide identically.
+func (c *CountMin) index(i int, f packet.FlowKey) int {
+	b := f.Bytes()
+	hi := binary.BigEndian.Uint64(b[0:8])
+	lo := uint64(binary.BigEndian.Uint32(b[8:12]))<<8 | uint64(b[12])
+	h := mix64(hi ^ c.seeds[i])
+	h = mix64(h + lo)
+	return int(h % uint64(c.width))
+}
+
+// Add records one packet of flow f using conservative update (only the
+// minimum counters are incremented), which tightens over-estimates.
+func (c *CountMin) Add(f packet.FlowKey) {
+	c.total++
+	est := c.estimate(f)
+	for i := 0; i < c.depth; i++ {
+		idx := c.index(i, f)
+		if uint64(c.rows[i][idx]) <= est {
+			c.rows[i][idx]++
+		}
+	}
+}
+
+func (c *CountMin) estimate(f packet.FlowKey) uint64 {
+	min := uint32(^uint32(0))
+	for i := 0; i < c.depth; i++ {
+		if v := c.rows[i][c.index(i, f)]; v < min {
+			min = v
+		}
+	}
+	return uint64(min)
+}
+
+// Estimate returns the (over-)estimated packet count of flow f.
+func (c *CountMin) Estimate(f packet.FlowKey) uint64 { return c.estimate(f) }
+
+// Total returns the number of packets added.
+func (c *CountMin) Total() uint64 { return c.total }
+
+// Counters returns the total number of counters (memory footprint).
+func (c *CountMin) Counters() int { return c.width * c.depth }
+
+// CMTopK couples a CountMin sketch with a small candidate set to answer
+// "which flows are currently the top k" — the composition a scheduler
+// would actually deploy.
+type CMTopK struct {
+	cm  *CountMin
+	k   int
+	set map[packet.FlowKey]uint64 // candidate -> last estimate
+}
+
+// NewCMTopK builds a top-k tracker over a width×depth sketch.
+func NewCMTopK(width, depth, k int) *CMTopK {
+	return &CMTopK{cm: NewCountMin(width, depth), k: k,
+		set: make(map[packet.FlowKey]uint64, 2*k)}
+}
+
+// Observe records one packet and maintains the candidate set.
+func (t *CMTopK) Observe(f packet.FlowKey) {
+	t.cm.Add(f)
+	est := t.cm.Estimate(f)
+	if _, ok := t.set[f]; ok {
+		t.set[f] = est
+		return
+	}
+	if len(t.set) < t.k {
+		t.set[f] = est
+		return
+	}
+	// Replace the weakest candidate if f now estimates higher. Stored
+	// estimates go stale, so re-read the sketch while scanning. Ties
+	// break on the key encoding for determinism.
+	var minF packet.FlowKey
+	minV := uint64(1 << 62)
+	first := true
+	for g := range t.set {
+		v := t.cm.Estimate(g)
+		t.set[g] = v
+		if v < minV || (v == minV && !first && keyLess(g, minF)) {
+			minF, minV = g, v
+			first = false
+		}
+	}
+	if est > minV {
+		delete(t.set, minF)
+		t.set[f] = est
+	}
+}
+
+// Aggressive returns the current candidate flows (order unspecified).
+func (t *CMTopK) Aggressive() []packet.FlowKey {
+	out := make([]packet.FlowKey, 0, len(t.set))
+	for f := range t.set {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Counters reports the sketch's counter footprint.
+func (t *CMTopK) Counters() int { return t.cm.Counters() }

@@ -1,0 +1,261 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: running mean/variance, log-bucketed latency histograms,
+// fixed-bin time series, and load-balance indices (coefficient of
+// variation, Jain fairness).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Welford accumulates mean and variance in a single numerically-stable
+// pass. The zero value is ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the running mean (0 with no data).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance (0 with fewer than 2 samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// CoV returns the coefficient of variation std/mean (0 if mean is 0).
+func (w *Welford) CoV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.Std() / w.mean
+}
+
+// CoV computes the coefficient of variation of a sample.
+func CoV(xs []float64) float64 {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w.CoV()
+}
+
+// Jain computes Jain's fairness index (Σx)² / (n·Σx²): 1 means perfectly
+// balanced load, 1/n means one element carries everything.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1 // all zeros: trivially balanced
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Histogram is a log2-bucketed histogram of non-negative integer
+// observations (e.g. latencies in ns). Bucket i covers [2^i, 2^(i+1)),
+// with bucket 0 covering {0, 1}. Per-bucket sums are kept so integrals
+// over the distribution (e.g. energy models) stay accurate.
+type Histogram struct {
+	buckets [64]uint64
+	sums    [64]float64
+	n       uint64
+	sum     float64
+	max     uint64
+}
+
+// Add folds one observation in. Negative values are clamped to zero.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.n++
+	h.sum += float64(v)
+	if uint64(v) > h.max {
+		h.max = uint64(v)
+	}
+	b := bucketOf(uint64(v))
+	h.buckets[b]++
+	h.sums[b] += float64(v)
+}
+
+// Bucket describes one non-empty histogram bucket.
+type Bucket struct {
+	Lo, Hi uint64 // value range [Lo, Hi)
+	Count  uint64
+	Sum    float64
+}
+
+// Buckets returns the non-empty buckets in ascending value order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = 1 << uint(i)
+		}
+		out = append(out, Bucket{Lo: lo, Hi: 1 << uint(i+1), Count: c, Sum: h.sums[i]})
+	}
+	return out
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+func bucketOf(v uint64) int {
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// N returns the observation count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) using
+// bucket upper edges; it is exact to within a factor of 2.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			if i >= 63 {
+				return math.MaxUint64
+			}
+			return 1<<(uint(i)+1) - 1
+		}
+	}
+	return h.max
+}
+
+// String renders the non-empty buckets compactly.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist{n=%d mean=%.4g", h.n, h.Mean())
+	for i, c := range h.buckets {
+		if c > 0 {
+			fmt.Fprintf(&b, " [2^%d]=%d", i, c)
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// TimeSeries accumulates per-bin sums over a fixed-width time axis, used
+// for plotting rates or queue lengths over a run.
+type TimeSeries struct {
+	binWidth float64 // seconds per bin
+	bins     []float64
+	counts   []uint64
+}
+
+// NewTimeSeries creates a series with the given bin width in seconds.
+func NewTimeSeries(binWidth float64) *TimeSeries {
+	if binWidth <= 0 {
+		panic("stats: bin width must be positive")
+	}
+	return &TimeSeries{binWidth: binWidth}
+}
+
+// Add records value v at time t (seconds).
+func (ts *TimeSeries) Add(t, v float64) {
+	i := int(t / ts.binWidth)
+	if i < 0 {
+		i = 0
+	}
+	for len(ts.bins) <= i {
+		ts.bins = append(ts.bins, 0)
+		ts.counts = append(ts.counts, 0)
+	}
+	ts.bins[i] += v
+	ts.counts[i]++
+}
+
+// Bins returns the number of bins.
+func (ts *TimeSeries) Bins() int { return len(ts.bins) }
+
+// Sum returns bin i's accumulated value.
+func (ts *TimeSeries) Sum(i int) float64 { return ts.bins[i] }
+
+// MeanAt returns bin i's mean value (0 for empty bins).
+func (ts *TimeSeries) MeanAt(i int) float64 {
+	if ts.counts[i] == 0 {
+		return 0
+	}
+	return ts.bins[i] / float64(ts.counts[i])
+}
+
+// BinStart returns the start time (seconds) of bin i.
+func (ts *TimeSeries) BinStart(i int) float64 { return float64(i) * ts.binWidth }
+
+// Percentile returns the p-th percentile (0<=p<=100) of a sample by
+// sorting a copy; intended for small result sets, not hot paths.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	rank := p / 100 * float64(len(c)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(c) {
+		return c[lo]
+	}
+	return c[lo]*(1-frac) + c[lo+1]*frac
+}

@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Fatal("zero value not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.Var()-4) > 1e-12 {
+		t.Fatalf("Var = %v, want 4", w.Var())
+	}
+	if math.Abs(w.Std()-2) > 1e-12 {
+		t.Fatalf("Std = %v, want 2", w.Std())
+	}
+	if math.Abs(w.CoV()-0.4) > 1e-12 {
+		t.Fatalf("CoV = %v, want 0.4", w.CoV())
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, r := range raw {
+			w.Add(float64(r))
+			sum += float64(r)
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, r := range raw {
+			d := float64(r) - mean
+			ss += d * d
+		}
+		naive := ss / float64(len(raw))
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Var()-naive) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJain(t *testing.T) {
+	if got := Jain([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("balanced Jain = %v", got)
+	}
+	if got := Jain([]float64{4, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("degenerate Jain = %v, want 0.25", got)
+	}
+	if got := Jain(nil); got != 0 {
+		t.Fatalf("empty Jain = %v", got)
+	}
+	if got := Jain([]float64{0, 0}); got != 1 {
+		t.Fatalf("all-zero Jain = %v, want 1", got)
+	}
+}
+
+func TestJainBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		j := Jain(xs)
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoV(t *testing.T) {
+	if got := CoV([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("uniform CoV = %v", got)
+	}
+	if got := CoV([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("CoV = %v, want 0.4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000, -5} {
+		h.Add(v)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	// 0,1,-5(clamped) in bucket 0; 2,3 in bucket 1; 4 in bucket 2; 1000 in bucket 9.
+	if h.buckets[0] != 3 || h.buckets[1] != 2 || h.buckets[2] != 1 || h.buckets[9] != 1 {
+		t.Fatalf("bucket layout wrong: %v", h.buckets[:12])
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	h.Add(20)
+	if h.Mean() != 15 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 1000; i++ {
+		h.Add(i)
+	}
+	// Median of 0..999 is ~500, bucket upper bound gives <= 1023.
+	med := h.Quantile(0.5)
+	if med < 500 || med > 1023 {
+		t.Fatalf("median bound = %d, want within [500,1023]", med)
+	}
+	if h.Quantile(1.0) < 512 {
+		t.Fatalf("p100 = %d too small", h.Quantile(1.0))
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile not 0")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Add(3)
+	if s := h.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1023: 9, 1024: 10}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(1.0)
+	ts.Add(0.5, 10)
+	ts.Add(0.7, 20)
+	ts.Add(2.1, 5)
+	if ts.Bins() != 3 {
+		t.Fatalf("Bins = %d, want 3", ts.Bins())
+	}
+	if ts.Sum(0) != 30 {
+		t.Fatalf("Sum(0) = %v", ts.Sum(0))
+	}
+	if ts.MeanAt(0) != 15 {
+		t.Fatalf("MeanAt(0) = %v", ts.MeanAt(0))
+	}
+	if ts.MeanAt(1) != 0 {
+		t.Fatalf("MeanAt(empty) = %v", ts.MeanAt(1))
+	}
+	if ts.BinStart(2) != 2.0 {
+		t.Fatalf("BinStart(2) = %v", ts.BinStart(2))
+	}
+	// Negative times clamp into bin 0.
+	ts.Add(-1, 7)
+	if ts.Sum(0) != 37 {
+		t.Fatal("negative time not clamped")
+	}
+}
+
+func TestTimeSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bin width did not panic")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Fatalf("p25 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	// Does not mutate input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 5 {
+		v := Percentile(xs, p)
+		if v < prev {
+			t.Fatalf("percentile not monotone at p=%v", p)
+		}
+		prev = v
+	}
+}
+
+func BenchmarkWelfordAdd(b *testing.B) {
+	var w Welford
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i & 1023))
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Add(int64(i & 0xFFFFF))
+	}
+}
+
+func TestHistogramBucketsAndSums(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 1, 3, 3, 3, 100} {
+		h.Add(v)
+	}
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(bs))
+	}
+	// Bucket 0 covers {0,1}: count 2, sum 2.
+	if bs[0].Count != 2 || bs[0].Sum != 2 || bs[0].Lo != 0 || bs[0].Hi != 2 {
+		t.Fatalf("bucket0 %+v", bs[0])
+	}
+	// Bucket [2,4): the threes.
+	if bs[1].Count != 3 || bs[1].Sum != 9 {
+		t.Fatalf("bucket1 %+v", bs[1])
+	}
+	// Bucket [64,128): the hundred.
+	if bs[2].Count != 1 || bs[2].Sum != 100 || bs[2].Lo != 64 {
+		t.Fatalf("bucket2 %+v", bs[2])
+	}
+	if h.Sum() != 111 {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+	// Per-bucket sums must total the global sum.
+	var tot float64
+	for _, b := range bs {
+		tot += b.Sum
+	}
+	if tot != h.Sum() {
+		t.Fatalf("bucket sums %v != total %v", tot, h.Sum())
+	}
+}

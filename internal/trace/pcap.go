@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"laps/internal/packet"
+	"laps/internal/sim"
+)
+
+// TimedRecord is a trace record with an arrival timestamp, the unit of
+// pcap I/O. (Live Sources carry no timing; the traffic generator supplies
+// it. Pcap files do, so the reader preserves it.)
+type TimedRecord struct {
+	Record
+	TS sim.Time
+}
+
+// Classic pcap v2.4 constants.
+const (
+	pcapMagic    = 0xA1B2C3D4 // microsecond-resolution, writer byte order
+	pcapMagicRev = 0xD4C3B2A1
+	pcapVMajor   = 2
+	pcapVMinor   = 4
+	linkEthernet = 1
+
+	ethHeaderLen  = 14
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+)
+
+// snapLen is enough for Ethernet + IPv4 + TCP headers; payload bytes are
+// not stored (the scheduler never looks at them).
+const snapLen = ethHeaderLen + ipv4HeaderLen + tcpHeaderLen
+
+// ErrNotPcap is returned when the stream does not start with a pcap
+// global header.
+var ErrNotPcap = errors.New("trace: not a pcap stream")
+
+// WritePcap serialises records as a classic pcap v2.4 capture with
+// synthesised Ethernet/IPv4/TCP-or-UDP headers. Only headers are stored
+// (snaplen 54); the record's Size becomes the frame's original length.
+func WritePcap(w io.Writer, recs []TimedRecord) error {
+	var gh [24]byte
+	binary.LittleEndian.PutUint32(gh[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(gh[4:6], pcapVMajor)
+	binary.LittleEndian.PutUint16(gh[6:8], pcapVMinor)
+	// thiszone, sigfigs zero
+	binary.LittleEndian.PutUint32(gh[16:20], snapLen)
+	binary.LittleEndian.PutUint32(gh[20:24], linkEthernet)
+	if _, err := w.Write(gh[:]); err != nil {
+		return err
+	}
+	frame := make([]byte, snapLen)
+	for i, rec := range recs {
+		n, err := buildFrame(frame, rec.Flow)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+		origLen := rec.Size
+		if origLen < n {
+			origLen = n
+		}
+		// Patch the IPv4 total length to the original frame's IP length.
+		ipLen := origLen - ethHeaderLen
+		if ipLen > 0xFFFF {
+			ipLen = 0xFFFF
+		}
+		binary.BigEndian.PutUint16(frame[ethHeaderLen+2:], uint16(ipLen))
+		patchIPChecksum(frame[ethHeaderLen : ethHeaderLen+ipv4HeaderLen])
+
+		var rh [16]byte
+		usec := int64(rec.TS) / 1000
+		binary.LittleEndian.PutUint32(rh[0:4], uint32(usec/1e6))
+		binary.LittleEndian.PutUint32(rh[4:8], uint32(usec%1e6))
+		binary.LittleEndian.PutUint32(rh[8:12], uint32(n))
+		binary.LittleEndian.PutUint32(rh[12:16], uint32(origLen))
+		if _, err := w.Write(rh[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(frame[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildFrame synthesises Ethernet+IPv4+L4 headers for the flow into buf
+// and returns the header length.
+func buildFrame(buf []byte, f packet.FlowKey) (int, error) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	// Ethernet: locally-administered MACs derived from the IPs.
+	buf[0], buf[1] = 0x02, 0x00
+	binary.BigEndian.PutUint32(buf[2:6], f.DstIP)
+	buf[6], buf[7] = 0x02, 0x00
+	binary.BigEndian.PutUint32(buf[8:12], f.SrcIP)
+	binary.BigEndian.PutUint16(buf[12:14], 0x0800) // IPv4
+
+	ip := buf[ethHeaderLen:]
+	ip[0] = 0x45 // v4, IHL 5
+	ip[8] = 64   // TTL
+	ip[9] = f.Proto
+	binary.BigEndian.PutUint32(ip[12:16], f.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:20], f.DstIP)
+
+	l4 := ip[ipv4HeaderLen:]
+	switch f.Proto {
+	case packet.ProtoTCP:
+		binary.BigEndian.PutUint16(l4[0:2], f.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], f.DstPort)
+		l4[12] = 5 << 4 // data offset 5 words
+		return ethHeaderLen + ipv4HeaderLen + tcpHeaderLen, nil
+	case packet.ProtoUDP:
+		binary.BigEndian.PutUint16(l4[0:2], f.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], f.DstPort)
+		return ethHeaderLen + ipv4HeaderLen + udpHeaderLen, nil
+	default:
+		return 0, fmt.Errorf("unsupported protocol %d", f.Proto)
+	}
+}
+
+// patchIPChecksum recomputes the IPv4 header checksum in place.
+func patchIPChecksum(ip []byte) {
+	ip[10], ip[11] = 0, 0
+	var sum uint32
+	for i := 0; i < ipv4HeaderLen; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(ip[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	binary.BigEndian.PutUint16(ip[10:12], ^uint16(sum))
+}
+
+// verifyIPChecksum reports whether the IPv4 header checksum is valid.
+func verifyIPChecksum(ip []byte) bool {
+	var sum uint32
+	for i := 0; i < ipv4HeaderLen; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(ip[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return uint16(sum) == 0xFFFF
+}
+
+// ReadPcap parses a classic pcap capture, extracting a TimedRecord per
+// IPv4 TCP/UDP frame. Non-IP or non-TCP/UDP frames are skipped. Both byte
+// orders are handled.
+func ReadPcap(r io.Reader) ([]TimedRecord, error) {
+	var gh [24]byte
+	if _, err := io.ReadFull(r, gh[:]); err != nil {
+		return nil, ErrNotPcap
+	}
+	var order binary.ByteOrder
+	switch binary.LittleEndian.Uint32(gh[0:4]) {
+	case pcapMagic:
+		order = binary.LittleEndian
+	case pcapMagicRev:
+		order = binary.BigEndian
+	default:
+		return nil, ErrNotPcap
+	}
+	var out []TimedRecord
+	var rh [16]byte
+	for {
+		if _, err := io.ReadFull(r, rh[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: truncated pcap record header: %w", err)
+		}
+		sec := order.Uint32(rh[0:4])
+		usec := order.Uint32(rh[4:8])
+		incl := order.Uint32(rh[8:12])
+		orig := order.Uint32(rh[12:16])
+		if incl > 1<<20 {
+			return nil, fmt.Errorf("trace: implausible capture length %d", incl)
+		}
+		frame := make([]byte, incl)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return nil, fmt.Errorf("trace: truncated frame: %w", err)
+		}
+		rec, ok := parseFrame(frame)
+		if !ok {
+			continue
+		}
+		rec.Size = int(orig)
+		rec.TS = sim.Time(sec)*sim.Second + sim.Time(usec)*sim.Microsecond
+		out = append(out, rec)
+	}
+}
+
+// parseFrame extracts the 5-tuple from an Ethernet/IPv4/TCP-or-UDP frame.
+func parseFrame(frame []byte) (TimedRecord, bool) {
+	if len(frame) < ethHeaderLen+ipv4HeaderLen {
+		return TimedRecord{}, false
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != 0x0800 {
+		return TimedRecord{}, false
+	}
+	ip := frame[ethHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return TimedRecord{}, false
+	}
+	ihl := int(ip[0]&0x0F) * 4
+	if ihl < ipv4HeaderLen || len(ip) < ihl+4 {
+		return TimedRecord{}, false
+	}
+	proto := ip[9]
+	if proto != packet.ProtoTCP && proto != packet.ProtoUDP {
+		return TimedRecord{}, false
+	}
+	l4 := ip[ihl:]
+	var rec TimedRecord
+	rec.Flow = packet.FlowKey{
+		SrcIP:   binary.BigEndian.Uint32(ip[12:16]),
+		DstIP:   binary.BigEndian.Uint32(ip[16:20]),
+		SrcPort: binary.BigEndian.Uint16(l4[0:2]),
+		DstPort: binary.BigEndian.Uint16(l4[2:4]),
+		Proto:   proto,
+	}
+	return rec, true
+}

@@ -1,0 +1,415 @@
+// Package laps is a library-level reproduction of "Flow Migration on
+// Multicore Network Processors: Load Balancing While Minimizing Packet
+// Reordering" (Iqbal et al., ICPP 2013).
+//
+// It provides, as reusable components:
+//
+//   - the LAPS packet scheduler (NewScheduler): per-service map tables,
+//     incremental (linear) hashing, migration tables, and dynamic core
+//     allocation;
+//   - the Aggressive Flow Detector (NewDetector): a two-level LFU cache
+//     structure that identifies heavy-hitter flows at line rate without
+//     per-flow state — usable standalone for heavy-hitter detection;
+//   - a deterministic network-processor simulator (Simulate) with the
+//     paper's delay model, baselines (FCFS, hash-only, AFS, Shi-style
+//     top-k oracle) and metrics (drops, reordering, cold caches,
+//     migrations);
+//   - synthetic trace sources with realistic elephant/mice structure,
+//     plus pcap I/O (CAIDATrace/AucklandTrace/NewTrace, ReadPcap);
+//   - the full experiment harness regenerating every table and figure of
+//     the paper's evaluation (RunExperiment).
+//
+// See examples/ for runnable entry points and DESIGN.md for the system
+// inventory.
+package laps
+
+import (
+	"fmt"
+	"io"
+
+	"laps/internal/afd"
+	"laps/internal/core"
+	"laps/internal/exp"
+	"laps/internal/npsim"
+	"laps/internal/packet"
+	"laps/internal/power"
+	"laps/internal/rob"
+	"laps/internal/sim"
+	"laps/internal/trace"
+	"laps/internal/traffic"
+)
+
+// Re-exported foundation types. Aliases keep the internal packages as
+// the single source of truth while giving users one import path.
+type (
+	// Time is simulated time in nanoseconds.
+	Time = sim.Time
+	// FlowKey is the 5-tuple flow identifier.
+	FlowKey = packet.FlowKey
+	// Packet is the descriptor the scheduler places onto cores.
+	Packet = packet.Packet
+	// ServiceID names a router service (a path through the task graph).
+	ServiceID = packet.ServiceID
+
+	// Detector is the Aggressive Flow Detector (paper §III-F).
+	Detector = afd.Detector
+	// DetectorConfig parameterises a Detector.
+	DetectorConfig = afd.Config
+	// DetectorStats are the detector's activity counters.
+	DetectorStats = afd.Stats
+	// ExactCounter keeps exact per-flow counts (ground truth / oracle).
+	ExactCounter = afd.ExactCounter
+
+	// Scheduler is the LAPS scheduler (paper §III).
+	Scheduler = core.LAPS
+	// SchedulerConfig parameterises a Scheduler.
+	SchedulerConfig = core.Config
+	// SchedulerStats are LAPS's control-plane counters.
+	SchedulerStats = core.Stats
+
+	// CoreScheduler is the interface any packet scheduler implements to
+	// drive the simulator: it picks a core for each arriving packet.
+	CoreScheduler = npsim.Scheduler
+	// SystemView is the read-only state a scheduler may consult.
+	SystemView = npsim.View
+	// Metrics aggregates a simulation's results.
+	Metrics = npsim.Metrics
+
+	// TraceSource yields packet headers in arrival order.
+	TraceSource = trace.Source
+	// TraceConfig parameterises a synthetic trace.
+	TraceConfig = trace.SynthConfig
+	// TraceRecord is one packet-header observation.
+	TraceRecord = trace.Record
+	// TimedRecord is a trace record with a timestamp (pcap I/O).
+	TimedRecord = trace.TimedRecord
+
+	// RateParams are the Holt-Winters traffic coefficients (eq. 1).
+	RateParams = traffic.RateParams
+
+	// CoreReport is one core's activity snapshot (busy time, idle
+	// intervals) for energy and balance analysis.
+	CoreReport = npsim.CoreReport
+	// PowerModel is the three-state (active/idle/gated) core power model.
+	PowerModel = power.Model
+	// PowerEstimate is a system-wide energy result.
+	PowerEstimate = power.Estimate
+	// ReorderStats are an egress re-order buffer's counters.
+	ReorderStats = rob.Stats
+
+	// Options are the experiment-harness knobs.
+	Options = exp.Options
+	// Table is a rendered experiment result.
+	Table = exp.Table
+)
+
+// Time unit constants.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// The paper's four services (task-graph paths, Fig 5).
+const (
+	SvcVPNOut      = packet.SvcVPNOut
+	SvcIPForward   = packet.SvcIPForward
+	SvcMalwareScan = packet.SvcMalwareScan
+	SvcVPNIn       = packet.SvcVPNIn
+	NumServices    = packet.NumServices
+)
+
+// NewDetector builds an Aggressive Flow Detector. Zero-valued config
+// fields take the paper's defaults (16-entry AFC, 512-entry annex).
+func NewDetector(cfg DetectorConfig) *Detector { return afd.New(cfg) }
+
+// NewExactCounter builds an exact per-flow counter for ground truth.
+func NewExactCounter() *ExactCounter { return afd.NewExactCounter() }
+
+// EvaluateDetector scores detected flows against the true top-k.
+func EvaluateDetector(detected []FlowKey, truth *ExactCounter, k int) afd.Accuracy {
+	return afd.Evaluate(detected, truth, k)
+}
+
+// NewScheduler builds a LAPS scheduler.
+func NewScheduler(cfg SchedulerConfig) *Scheduler { return core.New(cfg) }
+
+// NewTrace builds a synthetic trace source.
+func NewTrace(cfg TraceConfig) TraceSource { return trace.NewSynthetic(cfg) }
+
+// CAIDATrace returns the i-th CAIDA-like synthetic trace preset.
+func CAIDATrace(i int) TraceSource { return trace.CAIDALike(i) }
+
+// AucklandTrace returns the i-th Auckland-like synthetic trace preset.
+func AucklandTrace(i int) TraceSource { return trace.AucklandLike(i) }
+
+// ReadPcap parses a classic pcap capture into timed records.
+func ReadPcap(r io.Reader) ([]TimedRecord, error) { return trace.ReadPcap(r) }
+
+// WritePcap serialises records as a classic pcap capture.
+func WritePcap(w io.Writer, recs []TimedRecord) error { return trace.WritePcap(w, recs) }
+
+// ReplayTrace wraps records as a TraceSource, optionally looping.
+func ReplayTrace(name string, recs []TraceRecord, loop bool) TraceSource {
+	return trace.NewReplay(name, recs, loop)
+}
+
+// DefaultPowerModel returns a plausible embedded-IOP power model.
+func DefaultPowerModel() PowerModel { return power.DefaultModel() }
+
+// AnalyzePower integrates a power model over a run's per-core reports.
+func AnalyzePower(cores []CoreReport, span Time, m PowerModel) PowerEstimate {
+	return power.Analyze(cores, span, m)
+}
+
+// RunExperiment executes one named paper experiment ("fig7", "fig8a",
+// ...). Experiments() lists the available names.
+func RunExperiment(name string, opts Options) ([]Table, error) {
+	return exp.Run(name, opts)
+}
+
+// Experiments returns the available experiment names.
+func Experiments() []string { return exp.Names() }
+
+// SchedulerKind selects a built-in scheduler for Simulate.
+type SchedulerKind string
+
+// Built-in schedulers.
+const (
+	LAPS     SchedulerKind = "laps"      // the paper's scheduler
+	FCFS     SchedulerKind = "fcfs"      // shared-queue first-come-first-served
+	AFS      SchedulerKind = "afs"       // Dittmann's arbitrary flow shift
+	HashOnly SchedulerKind = "hash-only" // static CRC16, no migration
+	Oracle   SchedulerKind = "oracle"    // Shi-style exact top-16 migration
+)
+
+// ServiceTraffic describes one service's offered load for Simulate.
+type ServiceTraffic struct {
+	Service ServiceID
+	Params  RateParams
+	Trace   TraceSource
+}
+
+// SimConfig describes a custom simulation for Simulate.
+type SimConfig struct {
+	// Cores is the processor size; 0 means 16 (Table III).
+	Cores int
+	// QueueCap is the per-core descriptor queue; 0 means 32.
+	QueueCap int
+	// Scheduler picks a built-in scheduler; ignored when Custom is set.
+	// Empty means LAPS.
+	Scheduler SchedulerKind
+	// Custom plugs in any CoreScheduler implementation.
+	Custom CoreScheduler
+	// Traffic lists the offered load per service (at least one entry).
+	Traffic []ServiceTraffic
+	// Duration is the traffic window; 0 means 50 ms.
+	Duration Time
+	// TimeCompression maps sim seconds to rate-model seconds; 0 means 1.
+	TimeCompression float64
+	// CBRArrivals uses paced (±50% jitter) instead of Poisson arrivals.
+	CBRArrivals bool
+	// Consolidate enables LAPS's power-aware core parking: calm
+	// services fold their traffic onto fewer cores so the rest idle in
+	// long, gateable blocks (companion-work behaviour, paper refs
+	// [20],[29]). Only meaningful with Scheduler == LAPS.
+	Consolidate bool
+	// RestoreOrder attaches an egress re-order buffer (order
+	// *restoration*, the alternative the paper contrasts in related
+	// work [35]) and reports its cost in Result.Restored.
+	RestoreOrder bool
+	// Seed drives all randomness; 0 means 1.
+	Seed uint64
+}
+
+// Result is the outcome of Simulate.
+type Result struct {
+	// Metrics are the simulator's aggregate counters.
+	Metrics Metrics
+	// Generated is the number of packets offered.
+	Generated uint64
+	// Duration is the traffic window that was simulated.
+	Duration Time
+	// Scheduler names the scheduler that ran.
+	Scheduler string
+	// LapsStats is non-nil when the LAPS scheduler ran.
+	LapsStats *SchedulerStats
+	// Cores are per-core activity reports (for AnalyzePower etc.).
+	Cores []CoreReport
+	// Restored is non-nil when RestoreOrder was set: the re-order
+	// buffer's statistics plus the out-of-order count *after*
+	// restoration.
+	Restored *RestoredOrder
+}
+
+// RestoredOrder reports what egress order restoration cost and achieved.
+type RestoredOrder struct {
+	// OutOfOrderAfter counts packets still out of order at final egress.
+	OutOfOrderAfter uint64
+	// Buffer are the re-order buffer's internal counters.
+	Buffer ReorderStats
+}
+
+// Simulate builds the full stack — traffic generator, scheduler,
+// processor model — runs it to completion and returns the metrics.
+func Simulate(cfg SimConfig) (*Result, error) {
+	if len(cfg.Traffic) == 0 {
+		return nil, fmt.Errorf("laps: SimConfig needs at least one Traffic entry")
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = 16
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 50 * Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = LAPS
+	}
+
+	sysCfg := npsim.DefaultConfig()
+	sysCfg.NumCores = cfg.Cores
+	if cfg.QueueCap > 0 {
+		sysCfg.QueueCap = cfg.QueueCap
+	}
+
+	services := 0
+	active := map[ServiceID]bool{}
+	for _, tr := range cfg.Traffic {
+		if int(tr.Service) >= services {
+			services = int(tr.Service) + 1
+		}
+		if tr.Trace == nil {
+			return nil, fmt.Errorf("laps: service %v has no trace source", tr.Service)
+		}
+		active[tr.Service] = true
+	}
+	if services > packet.NumServices {
+		return nil, fmt.Errorf("laps: service IDs must be < %d", packet.NumServices)
+	}
+
+	var scheduler npsim.Scheduler
+	switch {
+	case cfg.Custom != nil:
+		scheduler = cfg.Custom
+	case cfg.Scheduler == LAPS:
+		// Build LAPS over the *active* services only, remapping sparse
+		// service IDs onto a compact range, so traffic-less services do
+		// not hold cores.
+		activeN := len(active)
+		if cfg.Cores < activeN {
+			return nil, fmt.Errorf("laps: %d cores cannot host %d services", cfg.Cores, activeN)
+		}
+		var remap [packet.NumServices]ServiceID
+		next := ServiceID(0)
+		for svc := 0; svc < services; svc++ {
+			if active[ServiceID(svc)] {
+				remap[svc] = next
+				next++
+			}
+		}
+		l := core.New(core.Config{
+			TotalCores:  cfg.Cores,
+			Services:    activeN,
+			Consolidate: cfg.Consolidate,
+			AFD:         afd.Config{Seed: cfg.Seed},
+		})
+		if activeN == services {
+			scheduler = l
+		} else {
+			scheduler = &remapScheduler{inner: l, remap: remap}
+		}
+	case cfg.Scheduler == FCFS:
+		sysCfg.SharedQueue = true
+	case cfg.Scheduler == AFS:
+		scheduler = newAFS()
+	case cfg.Scheduler == HashOnly:
+		scheduler = newHashOnly()
+	case cfg.Scheduler == Oracle:
+		scheduler = newOracle(16)
+	default:
+		return nil, fmt.Errorf("laps: unknown scheduler %q", cfg.Scheduler)
+	}
+
+	eng := sim.NewEngine()
+	sys := npsim.New(eng, sysCfg, scheduler)
+
+	var tracker *npsim.ReorderTracker
+	var buf *rob.Buffer
+	if cfg.RestoreOrder {
+		tracker = npsim.NewReorderTracker()
+		buf = rob.New(eng, rob.Config{}, func(p *packet.Packet) { tracker.Record(p) })
+		sys.OnDepart = buf.Push
+	}
+
+	var sources []traffic.ServiceSource
+	for _, tr := range cfg.Traffic {
+		sources = append(sources, traffic.ServiceSource{
+			Service: tr.Service, Params: tr.Params, Trace: tr.Trace,
+		})
+	}
+	arrivals := traffic.Poisson
+	if cfg.CBRArrivals {
+		arrivals = traffic.CBR
+	}
+	gen := traffic.NewGenerator(eng, traffic.Config{
+		Sources:         sources,
+		Duration:        cfg.Duration,
+		TimeCompression: cfg.TimeCompression,
+		Arrivals:        arrivals,
+		Seed:            cfg.Seed,
+	}, sys.Inject)
+	gen.Start()
+	eng.Run()
+	if buf != nil {
+		buf.Flush()
+	}
+
+	res := &Result{
+		Metrics:   *sys.Metrics(),
+		Generated: gen.Generated(),
+		Duration:  cfg.Duration,
+		Cores:     sys.CoreReports(),
+	}
+	if buf != nil {
+		res.Restored = &RestoredOrder{
+			OutOfOrderAfter: tracker.OutOfOrder(),
+			Buffer:          buf.Stats(),
+		}
+	}
+	if scheduler != nil {
+		res.Scheduler = scheduler.Name()
+	} else {
+		res.Scheduler = "fcfs"
+	}
+	if rm, ok := scheduler.(*remapScheduler); ok {
+		res.Scheduler = rm.inner.Name()
+		scheduler = rm.inner
+	}
+	if l, ok := scheduler.(*core.LAPS); ok {
+		st := l.Stats()
+		res.LapsStats = &st
+	}
+	return res, nil
+}
+
+// remapScheduler translates sparse service IDs onto the compact range a
+// LAPS instance was built for, leaving the packet seen by the simulator
+// (and its delay model) untouched.
+type remapScheduler struct {
+	inner npsim.Scheduler
+	remap [packet.NumServices]ServiceID
+}
+
+// Name identifies the wrapped scheduler.
+func (r *remapScheduler) Name() string { return r.inner.Name() }
+
+// Target forwards to the wrapped scheduler with the remapped service ID.
+func (r *remapScheduler) Target(p *packet.Packet, v npsim.View) int {
+	q := *p
+	q.Service = r.remap[p.Service]
+	return r.inner.Target(&q, v)
+}
