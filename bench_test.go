@@ -18,6 +18,7 @@ import (
 	"laps/internal/crc"
 	"laps/internal/exp"
 	"laps/internal/npsim"
+	"laps/internal/obs"
 	"laps/internal/packet"
 	"laps/internal/sim"
 	"laps/internal/trace"
@@ -83,6 +84,33 @@ func BenchmarkSchedulerDecision(b *testing.B) {
 }
 
 var sinkInt int
+
+// BenchmarkSchedulerTracingDisabled/Enabled quantify the telemetry tax
+// on the decision hot path: a nil *obs.Recorder must cost one
+// predictable branch per emit site, and an attached ring recorder only
+// a handful of ns more (no allocation either way).
+func BenchmarkSchedulerTracingDisabled(b *testing.B) { benchSchedulerTracing(b, nil) }
+
+func BenchmarkSchedulerTracingEnabled(b *testing.B) {
+	benchSchedulerTracing(b, obs.NewRecorder(1<<12))
+}
+
+func benchSchedulerTracing(b *testing.B, rec *obs.Recorder) {
+	s := core.New(core.Config{TotalCores: 16, Services: 4, AFD: afd.Config{Seed: 1}})
+	s.SetRecorder(rec)
+	v := &benchView{cores: 16, qcap: 32}
+	pkts := make([]*packet.Packet, 1024)
+	src := trace.CAIDALike(1)
+	for i := range pkts {
+		r, _ := src.Next()
+		pkts[i] = &packet.Packet{Flow: r.Flow, Service: packet.ServiceID(i % 4), Size: r.Size}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = s.Target(pkts[i&1023], v)
+	}
+}
 
 // benchView is a minimal static View for decision-latency benches.
 type benchView struct {

@@ -6,36 +6,66 @@
 //	lapsim -exp fig7                 # one experiment
 //	lapsim -exp all -duration 500ms  # everything, longer window
 //	lapsim -list                     # available experiments
+//
+// Telemetry mode (any of -trace/-chrome/-metrics) runs one instrumented
+// scenario instead of the table experiments:
+//
+//	lapsim -trace out.jsonl                  # control-plane event stream
+//	lapsim -chrome out.json -scenario T6     # chrome://tracing timeline
+//	lapsim -metrics out.csv -metrics-interval 500us
+//
+// Profiling hooks (-cpuprofile/-memprofile) work in every mode.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"laps/internal/exp"
+	"laps/internal/obs"
 	"laps/internal/plot"
 	"laps/internal/sim"
 )
 
+var (
+	name     = flag.String("exp", "all", "experiment name or 'all'")
+	list     = flag.Bool("list", false, "list experiments and exit")
+	dur      = flag.Duration("duration", 200*time.Millisecond, "simulated traffic window per scenario")
+	modelSec = flag.Float64("model-seconds", 60, "seconds of Holt-Winters dynamics the window sweeps")
+	cores    = flag.Int("cores", 16, "number of processor cores")
+	seed     = flag.Uint64("seed", 1, "random seed")
+	workers  = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
+	packets  = flag.Int("stream-packets", 400000, "packets per trace for detector experiments")
+	csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut  = flag.Bool("json", false, "emit JSON instead of aligned tables")
+	outPath  = flag.String("o", "", "write results to a file instead of stdout")
+	svgDir   = flag.String("svg", "", "also render each table as an SVG chart into this directory")
+
+	tracePath   = flag.String("trace", "", "run one instrumented scenario and write its event stream as JSONL to this file")
+	chromePath  = flag.String("chrome", "", "like -trace but in Chrome trace-event JSON (open in chrome://tracing)")
+	metricsPath = flag.String("metrics", "", "write the instrumented scenario's sampled time series as CSV to this file")
+	metricsInt  = flag.Duration("metrics-interval", time.Millisecond, "simulated-time sampling interval for -metrics")
+	scenario    = flag.String("scenario", "T5", "Table VI scenario (T1..T8) for telemetry mode")
+	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+	verbose     = flag.Bool("v", false, "verbose (debug-level) progress logging")
+)
+
 func main() {
-	var (
-		name     = flag.String("exp", "all", "experiment name or 'all'")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		dur      = flag.Duration("duration", 200*time.Millisecond, "simulated traffic window per scenario")
-		modelSec = flag.Float64("model-seconds", 60, "seconds of Holt-Winters dynamics the window sweeps")
-		cores    = flag.Int("cores", 16, "number of processor cores")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		workers  = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
-		packets  = flag.Int("stream-packets", 400000, "packets per trace for detector experiments")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonOut  = flag.Bool("json", false, "emit JSON instead of aligned tables")
-		outPath  = flag.String("o", "", "write results to a file instead of stdout")
-		svgDir   = flag.String("svg", "", "also render each table as an SVG chart into this directory")
-	)
 	flag.Parse()
+
+	lvl := slog.LevelWarn
+	if *verbose {
+		lvl = slog.LevelDebug
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
 
 	if *list {
 		for _, n := range exp.Names() {
@@ -43,6 +73,40 @@ func main() {
 		}
 		return
 	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+		slog.Debug("cpu profiling enabled", "path", *cpuProfile)
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			slog.Error("memprofile", "err", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			slog.Error("memprofile", "err", err)
+		}
+	}()
 
 	opts := exp.Options{
 		Duration:      sim.Time(dur.Nanoseconds()),
@@ -53,6 +117,89 @@ func main() {
 		StreamPackets: *packets,
 	}
 
+	if *tracePath != "" || *chromePath != "" || *metricsPath != "" {
+		return runTraced(opts)
+	}
+	return runTables(opts)
+}
+
+// runTraced executes one instrumented scenario and writes the requested
+// telemetry artifacts.
+func runTraced(opts exp.Options) error {
+	rec := obs.NewRecorder(0)
+	var interval sim.Time
+	if *metricsPath != "" {
+		interval = sim.Time(metricsInt.Nanoseconds())
+		if interval <= 0 {
+			return fmt.Errorf("-metrics-interval must be positive (got %v)", *metricsInt)
+		}
+	}
+	slog.Debug("telemetry run", "scenario", *scenario, "duration", *dur, "interval", interval)
+
+	start := time.Now()
+	res, err := exp.Traced(opts, *scenario, rec, interval)
+	if err != nil {
+		return err
+	}
+	slog.Debug("telemetry run done", "elapsed", time.Since(start).Round(time.Millisecond),
+		"events", rec.Total(), "overwritten", rec.Overwritten())
+
+	writeEvents := func(path string, mk func(io.Writer) obs.Sink) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		s := mk(f)
+		for _, e := range rec.Events() {
+			if err := s.Write(e); err != nil {
+				return err
+			}
+		}
+		return s.Close()
+	}
+	if *tracePath != "" {
+		if err := writeEvents(*tracePath, func(w io.Writer) obs.Sink { return obs.NewJSONLSink(w) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d events)\n", *tracePath, rec.Len())
+	}
+	if *chromePath != "" {
+		if err := writeEvents(*chromePath, func(w io.Writer) obs.Sink { return obs.NewChromeTraceSink(w) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d events)\n", *chromePath, rec.Len())
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := res.Series.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d samples)\n", *metricsPath, res.Series.Len())
+	}
+
+	m := res.Metrics
+	fmt.Printf("scenario %s: %d events captured (%d lost to ring overwrite)\n",
+		res.Scenario, rec.Total(), rec.Overwritten())
+	fmt.Printf("  migrations=%d map-splits=%d map-merges=%d core-steals=%d surplus-marks=%d\n",
+		rec.Count(obs.EvFlowMigration), rec.Count(obs.EvMapSplit), rec.Count(obs.EvMapMerge),
+		rec.Count(obs.EvCoreSteal), rec.Count(obs.EvSurplusMark))
+	fmt.Printf("  afc-promotes=%d drops=%d ooo-departs=%d\n",
+		rec.Count(obs.EvAFCPromote), rec.Count(obs.EvDrop), rec.Count(obs.EvOOODepart))
+	fmt.Printf("  metrics: injected=%d dropped=%d completed=%d ooo=%d migrations=%d\n",
+		m.Injected, m.Dropped, m.Completed, m.OutOfOrder, m.Migrations)
+	return nil
+}
+
+// runTables executes the named table experiments (the default mode).
+func runTables(opts exp.Options) error {
 	start := time.Now()
 	var tables []exp.Table
 	if *name == "all" {
@@ -61,24 +208,22 @@ func main() {
 		var err error
 		tables, err = exp.Run(*name, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return err
 		}
 	}
+	slog.Debug("experiments done", "tables", len(tables), "elapsed", time.Since(start).Round(time.Millisecond))
 	out := os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		out = f
 	}
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		for i := range tables {
 			svg, err := plot.Auto(tables[i].Title, tables[i].Columns, tables[i].Rows, plot.Options{})
@@ -88,8 +233,7 @@ func main() {
 			}
 			path := filepath.Join(*svgDir, fmt.Sprintf("table-%02d.svg", i+1))
 			if err := os.WriteFile(path, svg, 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
@@ -98,8 +242,7 @@ func main() {
 		switch {
 		case *jsonOut:
 			if err := tables[i].JSON(out); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 		case *csv:
 			tables[i].CSV(out)
@@ -109,4 +252,5 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -63,6 +63,50 @@ func ExampleSimulate() {
 	// scheduler: laps
 }
 
+// ExampleSimulate_telemetry attaches the telemetry layer to a run: a
+// Recorder captures the control-plane event stream (stamped on the
+// simulated clock) while MetricsInterval samples per-core and
+// per-service probes into a columnar time series.
+func ExampleSimulate_telemetry() {
+	rec := laps.NewRecorder(1024)
+	res, err := laps.Simulate(laps.SimConfig{
+		Scheduler:       laps.LAPS,
+		Cores:           2,
+		Duration:        100 * laps.Microsecond,
+		Trace:           rec,
+		MetricsInterval: 25 * laps.Microsecond,
+		Seed:            7,
+		Traffic: []laps.ServiceTraffic{{
+			Service: laps.SvcIPForward,
+			Params:  laps.RateParams{A: 8}, // 8 Mpps into 2 cores: overload
+			Trace: laps.NewTrace(laps.TraceConfig{
+				Name: "demo", Flows: 40, Skew: 1.2, Seed: 3,
+			}),
+		}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ordered := true
+	events := rec.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].T < events[i-1].T {
+			ordered = false
+		}
+	}
+	fmt.Println("drop events match metric:",
+		rec.Count(laps.EvDrop) == res.Metrics.Dropped && res.Metrics.Dropped > 0)
+	fmt.Println("timestamps ordered:", ordered)
+	fmt.Println("series samples:", res.Series.Len())
+	fmt.Println("drops column present:", res.Series.Col("drops") != nil)
+	// Output:
+	// drop events match metric: true
+	// timestamps ordered: true
+	// series samples: 4
+	// drops column present: true
+}
+
 // ExampleNewScheduler shows the LAPS control surface directly: the
 // initial equal partition of cores among services.
 func ExampleNewScheduler() {

@@ -28,6 +28,7 @@ import (
 	"math/rand/v2"
 
 	"laps/internal/cache"
+	"laps/internal/obs"
 	"laps/internal/packet"
 )
 
@@ -108,6 +109,8 @@ type Detector struct {
 	annex cache.Cache[packet.FlowKey]
 	rng   *rand.Rand
 	stats Stats
+	rec   *obs.Recorder // nil = no telemetry
+	svc   int16         // service ID stamped on emitted events
 }
 
 // New builds a Detector from cfg, applying defaults for zero fields.
@@ -142,7 +145,16 @@ func New(cfg Config) *Detector {
 		afc:   mk(cfg.AFCSize),
 		annex: mk(cfg.AnnexSize),
 		rng:   rand.New(rand.NewPCG(cfg.Seed, 0x9E3779B97F4A7C15)),
+		svc:   -1,
 	}
+}
+
+// SetRecorder attaches a telemetry recorder; promotion, demotion and
+// invalidation events are stamped with the given service ID. A nil
+// recorder detaches telemetry.
+func (d *Detector) SetRecorder(r *obs.Recorder, service int16) {
+	d.rec = r
+	d.svc = service
 }
 
 // Config returns the detector's effective configuration.
@@ -181,6 +193,14 @@ func (d *Detector) promote(f packet.FlowKey, n uint64) {
 	d.annex.Remove(f)
 	victim, evicted := d.afc.Insert(f, n)
 	d.stats.Promotions++
+	if d.rec != nil {
+		d.rec.Emit(obs.Event{Kind: obs.EvAFCPromote, Service: d.svc,
+			Core: -1, Core2: -1, Flow: f, Val: int64(n)})
+		if evicted {
+			d.rec.Emit(obs.Event{Kind: obs.EvAFCDemote, Service: d.svc,
+				Core: -1, Core2: -1, Flow: victim.Key, Val: int64(victim.Count)})
+		}
+	}
 	if evicted {
 		// True victim-cache semantics: the demoted flow keeps its full
 		// reference count in the annex, so one more hit re-qualifies it
@@ -218,7 +238,19 @@ func (d *Detector) Invalidate(f packet.FlowKey) bool {
 	}
 	d.annex.Insert(f, requalAt)
 	d.stats.Invalidated++
+	if d.rec != nil {
+		d.rec.Emit(obs.Event{Kind: obs.EvAFCInvalidate, Service: d.svc,
+			Core: -1, Core2: -1, Flow: f})
+	}
 	return true
+}
+
+// HitRateProbe returns a sampler probe reporting the detector's AFC hit
+// rate (AFC hits per observed packet) over each sampling interval.
+func (d *Detector) HitRateProbe(name string) obs.Probe {
+	return obs.RateProbe(name,
+		func() uint64 { return d.stats.AFCHits },
+		func() uint64 { return d.stats.Observed })
 }
 
 // Aggressive returns the flows currently held in the AFC, hottest last

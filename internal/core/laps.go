@@ -24,6 +24,7 @@ import (
 	"laps/internal/lhash"
 	"laps/internal/migtable"
 	"laps/internal/npsim"
+	"laps/internal/obs"
 	"laps/internal/packet"
 	"laps/internal/sim"
 )
@@ -115,6 +116,19 @@ type LAPS struct {
 	ewma     []float64 // per-core smoothed queue length
 	lastScan sim.Time
 	stats    Stats
+	rec      *obs.Recorder // nil = no telemetry
+}
+
+// SetRecorder attaches a telemetry recorder to the scheduler and to
+// every service's AFD. Control-plane transitions — flow migrations,
+// map-table splits/merges, core steals, parking, surplus marking — are
+// emitted as typed events. A nil recorder detaches telemetry; the hot
+// path then costs a single branch.
+func (l *LAPS) SetRecorder(r *obs.Recorder) {
+	l.rec = r
+	for i, st := range l.svc {
+		st.det.SetRecorder(r, int16(i))
+	}
 }
 
 // minQueue returns the service's least-loaded core under the configured
@@ -263,6 +277,11 @@ func (l *LAPS) Target(p *packet.Packet, v npsim.View) int {
 				st.mig.Put(p.Flow, minc, v.Now())
 				st.det.Invalidate(p.Flow)
 				l.stats.Migrations++
+				if l.rec != nil {
+					l.rec.Emit(obs.Event{Kind: obs.EvFlowMigration, Service: int16(p.Service),
+						Core: int32(minc), Core2: int32(target), Flow: p.Flow,
+						Val: int64(v.QueueLen(minc))})
+				}
 				// Placement feedback: account for the incoming flow's
 				// load immediately so the next migration does not herd
 				// onto the same momentarily-cold core before the
@@ -316,6 +335,10 @@ func (l *LAPS) maybeScan(v npsim.View) {
 	for _, e := range l.surplus {
 		if v.IdleFor(e.core) == 0 {
 			l.stats.SurplusUnmarks++
+			if l.rec != nil {
+				l.rec.Emit(obs.Event{Kind: obs.EvSurplusUnmark, Service: int16(l.owner[e.core]),
+					Core: int32(e.core), Core2: -1})
+			}
 			continue
 		}
 		kept = append(kept, e)
@@ -343,6 +366,10 @@ func (l *LAPS) maybeScan(v npsim.View) {
 		}
 		l.surplus = append(l.surplus, surplusEntry{core: c, since: now})
 		l.stats.SurplusMarks++
+		if l.rec != nil {
+			l.rec.Emit(obs.Event{Kind: obs.EvSurplusMark, Service: int16(l.owner[c]),
+				Core: int32(c), Core2: -1, Val: int64(v.IdleFor(c))})
+		}
 	}
 }
 
@@ -394,6 +421,12 @@ func (l *LAPS) park(st *serviceState) {
 	st.mig.RemoveCore(c)
 	st.parked = append(st.parked, c)
 	l.stats.Parks++
+	if l.rec != nil {
+		l.rec.Emit(obs.Event{Kind: obs.EvMapMerge, Service: int16(st.id),
+			Core: int32(c), Core2: -1, Val: int64(len(st.cores))})
+		l.rec.Emit(obs.Event{Kind: obs.EvCorePark, Service: int16(st.id),
+			Core: int32(c), Core2: -1})
+	}
 }
 
 // unpark returns one parked core to the service's map table. It reports
@@ -407,6 +440,12 @@ func (l *LAPS) unpark(st *serviceState) bool {
 	st.cores = append(st.cores, c)
 	st.lh.Grow()
 	l.stats.Unparks++
+	if l.rec != nil {
+		l.rec.Emit(obs.Event{Kind: obs.EvCoreReturn, Service: int16(st.id),
+			Core: int32(c), Core2: -1})
+		l.rec.Emit(obs.Event{Kind: obs.EvMapSplit, Service: int16(st.id),
+			Core: int32(c), Core2: -1, Val: int64(len(st.cores))})
+	}
 	// The core may have been marked surplus while parked; it is live
 	// again now.
 	for i, e := range l.surplus {
@@ -477,6 +516,10 @@ func (l *LAPS) requestCore(req int, v npsim.View) bool {
 		donor.cores = append(donor.cores[:pos], donor.cores[pos+1:]...)
 		donor.lh.Shrink()
 		donor.mig.RemoveCore(c)
+		if l.rec != nil {
+			l.rec.Emit(obs.Event{Kind: obs.EvMapMerge, Service: int16(donor.id),
+				Core: int32(c), Core2: -1, Val: int64(len(donor.cores))})
+		}
 	} else {
 		for i, dc := range donor.parked {
 			if dc == c {
@@ -491,7 +534,42 @@ func (l *LAPS) requestCore(req int, v npsim.View) bool {
 	reqSt := l.svc[req]
 	reqSt.cores = append(reqSt.cores, c)
 	reqSt.lh.Grow()
+	if l.rec != nil {
+		l.rec.Emit(obs.Event{Kind: obs.EvCoreSteal, Service: int16(req),
+			Core: int32(c), Core2: -1, Val: int64(donor.id)})
+		l.rec.Emit(obs.Event{Kind: obs.EvMapSplit, Service: int16(req),
+			Core: int32(c), Core2: -1, Val: int64(len(reqSt.cores))})
+	}
 	l.owner[c] = req
 	l.stats.CoreGrants++
 	return true
+}
+
+// Probes returns sampler probes over the scheduler's control-plane
+// state: per-service core allocation, per-service aggregate queue depth
+// (read through v), per-service AFD hit rate, the surplus-list length
+// and the per-interval migration count.
+func (l *LAPS) Probes(v npsim.View) []obs.Probe {
+	ps := make([]obs.Probe, 0, 3*len(l.svc)+2)
+	for i, st := range l.svc {
+		st := st
+		ps = append(ps,
+			obs.Probe{Name: fmt.Sprintf("svc%d.cores", i), Fn: func() float64 {
+				return float64(len(st.cores))
+			}},
+			obs.Probe{Name: fmt.Sprintf("svc%d.qdepth", i), Fn: func() float64 {
+				q := 0
+				for _, c := range st.cores {
+					q += v.QueueLen(c)
+				}
+				return float64(q)
+			}},
+			st.det.HitRateProbe(fmt.Sprintf("svc%d.afd-hit", i)),
+		)
+	}
+	ps = append(ps,
+		obs.Probe{Name: "surplus", Fn: func() float64 { return float64(len(l.surplus)) }},
+		obs.RateProbe("migrations", func() uint64 { return l.stats.Migrations }, nil),
+	)
+	return ps
 }

@@ -6,6 +6,7 @@ import (
 	"laps/internal/afd"
 	"laps/internal/core"
 	"laps/internal/npsim"
+	"laps/internal/obs"
 	"laps/internal/packet"
 	"laps/internal/sim"
 	"laps/internal/traffic"
@@ -52,29 +53,38 @@ func Timeline(opts Options) Table {
 			"S1-cores", "S2-cores", "S3-cores", "S4-cores",
 			"surplus", "grants", "drops-so-far"},
 	}
+	// One probe per table column: the shared obs.Sampler replaces the
+	// bespoke eng.At sampling loop this experiment used to carry.
 	const samples = 12
-	var lastGrants uint64
-	for i := 1; i <= samples; i++ {
-		at := opts.Duration * sim.Time(i) / samples
-		eng.At(at, func() {
-			st := scheduler.Stats()
-			row := []string{
-				eng.Now().String(),
-				fmt.Sprintf("%.1fs", eng.Now().Seconds()*opts.compression()),
-			}
-			for svc := 0; svc < packet.NumServices; svc++ {
-				row = append(row, fmt.Sprintf("%d", len(scheduler.CoresOf(packet.ServiceID(svc)))))
-			}
-			row = append(row,
-				fmt.Sprintf("%d", scheduler.SurplusCount()),
-				fmt.Sprintf("%d", st.CoreGrants-lastGrants),
-				fmt.Sprintf("%d", sys.Metrics().Dropped))
-			lastGrants = st.CoreGrants
-			t.AddRow(row...)
+	probes := make([]obs.Probe, 0, packet.NumServices+3)
+	for svc := 0; svc < packet.NumServices; svc++ {
+		svc := svc
+		probes = append(probes, obs.Probe{
+			Name: fmt.Sprintf("S%d-cores", svc+1),
+			Fn: func() float64 {
+				return float64(len(scheduler.CoresOf(packet.ServiceID(svc))))
+			},
 		})
 	}
+	probes = append(probes,
+		obs.Probe{Name: "surplus", Fn: func() float64 { return float64(scheduler.SurplusCount()) }},
+		obs.RateProbe("grants", func() uint64 { return scheduler.Stats().CoreGrants }, nil),
+		obs.Probe{Name: "drops-so-far", Fn: func() float64 { return float64(sys.Metrics().Dropped) }},
+	)
+	sampler := obs.NewSampler(opts.Duration/samples, probes...)
+	sampler.Schedule(eng, opts.Duration)
 	gen.Start()
 	eng.Run()
+
+	ser := sampler.Series()
+	for i := 0; i < ser.Len(); i++ {
+		at := sim.Time(ser.Time(i)*float64(sim.Second) + 0.5)
+		row := []string{at.String(), fmt.Sprintf("%.1fs", ser.Time(i)*opts.compression())}
+		for c := 0; c < packet.NumServices+3; c++ {
+			row = append(row, fmt.Sprintf("%d", int64(ser.At(c, i))))
+		}
+		t.AddRow(row...)
+	}
 	st := scheduler.Stats()
 	t.AddNote("total: %d grants of %d requests, %d surplus marks; equal 4/4/4/4 split at t=0",
 		st.CoreGrants, st.CoreRequests, st.SurplusMarks)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"laps/internal/afd"
+	"laps/internal/stats"
 	"laps/internal/trace"
 )
 
@@ -95,8 +96,9 @@ func Fig8b(opts Options) Table {
 		truth := afd.NewExactCounter()
 		src := srcs[j.src]()
 		win := windows[j.win]
-		var accSum float64
-		var evals int
+		// Per-boundary accuracies accumulate into a columnar series
+		// (time axis = packets seen) instead of ad-hoc sum/count vars.
+		ser := stats.NewSeries("acc")
 		for seen := 0; seen < opts.StreamPackets; seen++ {
 			rec, ok := src.Next()
 			if !ok {
@@ -104,18 +106,14 @@ func Fig8b(opts Options) Table {
 			}
 			det.Observe(rec.Flow)
 			truth.Observe(rec.Flow)
-			if (seen+1)%win == 0 && seen+1 >= win {
+			if (seen+1)%win == 0 {
 				acc := afd.Evaluate(det.Aggressive(), truth, 16)
 				if acc.Detected > 0 {
-					accSum += 1 - acc.FPR
-					evals++
+					ser.Append(float64(seen+1), 1-acc.FPR)
 				}
 			}
 		}
-		if evals == 0 {
-			return 0
-		}
-		return accSum / float64(evals)
+		return ser.ColMean(0)
 	})
 	for wi, win := range windows {
 		row := []string{fmt.Sprintf("%d", win)}

@@ -10,6 +10,15 @@ import (
 // out of order if some packet of the same flow with a *larger* flow
 // sequence number already departed. Dropped packets leave gaps but gaps
 // are not reorderings.
+//
+// Memory behavior: the tracker keeps one 8-byte watermark per distinct
+// flow key ever recorded and never evicts — flow state cannot be aged
+// out without risking false negatives on late stragglers. Memory
+// therefore grows linearly with the number of distinct flows (~21 bytes
+// of key+value per flow plus map overhead; about 3 MB per million
+// flows). For long-lived processes tracking unbounded flow populations,
+// call Reset at run boundaries (the simulator builds one tracker per
+// run, so paper-scale experiments never approach this).
 type ReorderTracker struct {
 	// next[f] is one past the highest FlowSeq that has departed for f.
 	next      map[packet.FlowKey]uint64
@@ -40,6 +49,19 @@ func (r *ReorderTracker) OutOfOrder() uint64 { return r.ooo }
 
 // Delivered returns the number of departures recorded.
 func (r *ReorderTracker) Delivered() uint64 { return r.delivered }
+
+// Flows returns the number of distinct flows tracked — the tracker's
+// memory footprint is proportional to this.
+func (r *ReorderTracker) Flows() int { return len(r.next) }
+
+// Reset discards all per-flow watermarks and zeroes the counters,
+// releasing the tracker's memory. Use at run boundaries when a single
+// tracker outlives many traffic windows.
+func (r *ReorderTracker) Reset() {
+	r.next = make(map[packet.FlowKey]uint64, 1<<14)
+	r.ooo = 0
+	r.delivered = 0
+}
 
 // Metrics aggregates everything the paper's figures report.
 type Metrics struct {

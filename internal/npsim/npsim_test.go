@@ -3,6 +3,7 @@ package npsim
 import (
 	"testing"
 
+	"laps/internal/obs"
 	"laps/internal/packet"
 	"laps/internal/sim"
 )
@@ -554,5 +555,72 @@ func TestLatencyHistogramPerService(t *testing.T) {
 	}
 	if m.LatencyP99(packet.SvcIPForward) < 2*sim.Microsecond {
 		t.Fatal("p99 below actual")
+	}
+}
+
+func TestReorderTrackerReset(t *testing.T) {
+	r := NewReorderTracker()
+	r.Record(mkPacket(1, 1, 5, 0))
+	r.Record(mkPacket(2, 2, 0, 0))
+	r.Record(mkPacket(3, 1, 0, 0)) // late for flow 1
+	if r.OutOfOrder() != 1 || r.Delivered() != 3 || r.Flows() != 2 {
+		t.Fatalf("pre-reset ooo=%d delivered=%d flows=%d", r.OutOfOrder(), r.Delivered(), r.Flows())
+	}
+	r.Reset()
+	if r.OutOfOrder() != 0 || r.Delivered() != 0 || r.Flows() != 0 {
+		t.Fatalf("post-reset ooo=%d delivered=%d flows=%d", r.OutOfOrder(), r.Delivered(), r.Flows())
+	}
+	// Watermarks are forgotten: flow 1's seq 0 starts a fresh sequence,
+	// and drop-gap semantics still hold afterwards.
+	if r.Record(mkPacket(4, 1, 0, 0)) {
+		t.Fatal("seq 0 flagged after reset")
+	}
+	if r.Record(mkPacket(5, 1, 2, 0)) { // seq 1 dropped: gap, not reorder
+		t.Fatal("gap counted as reorder after reset")
+	}
+	if !r.Record(mkPacket(6, 1, 1, 0)) {
+		t.Fatal("late packet not flagged after reset")
+	}
+}
+
+// TestTelemetryEvents checks the system emits drop and out-of-order
+// events with engine-stamped, monotonically non-decreasing timestamps.
+func TestTelemetryEvents(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, testConfig(2, 4), fnSched(func(p *packet.Packet, v View) int {
+		// Flow 1's packets alternate cores to force a reorder; everything
+		// else pins to core 0 to force drops.
+		if p.Flow.SrcIP == 1 {
+			return int(p.ID % 2)
+		}
+		return 0
+	}))
+	rec := obs.NewRecorder(64)
+	s.SetRecorder(rec)
+	eng.At(0, func() {
+		// Overfill core 0: 1 in service + 4 queued fit, the 6th drops.
+		for i := uint64(10); i < 16; i++ {
+			s.Inject(mkPacket(i, 9, i, 0))
+		}
+	})
+	// Flow 1: seq 0 queues behind core 0's backlog (departs ~6us), seq 1
+	// runs immediately on idle core 1 (departs ~4.6us) → seq 0 is out of
+	// order when it finally departs.
+	eng.At(3500, func() { s.Inject(mkPacket(100, 1, 0, 3500)) })
+	eng.At(3600, func() { s.Inject(mkPacket(101, 1, 1, 3600)) })
+	eng.Run()
+
+	m := s.Metrics()
+	if rec.Count(obs.EvDrop) != m.Dropped || m.Dropped == 0 {
+		t.Fatalf("drop events %d, metric %d", rec.Count(obs.EvDrop), m.Dropped)
+	}
+	if rec.Count(obs.EvOOODepart) != m.OutOfOrder || m.OutOfOrder == 0 {
+		t.Fatalf("ooo events %d, metric %d", rec.Count(obs.EvOOODepart), m.OutOfOrder)
+	}
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatalf("event timestamps regress at %d: %v after %v", i, evs[i].T, evs[i-1].T)
+		}
 	}
 }

@@ -3,6 +3,7 @@ package npsim
 import (
 	"fmt"
 
+	"laps/internal/obs"
 	"laps/internal/packet"
 	"laps/internal/sim"
 	"laps/internal/stats"
@@ -124,9 +125,18 @@ type System struct {
 	flowLast map[packet.FlowKey]int32
 	reorder  *ReorderTracker
 	m        Metrics
+	rec      *obs.Recorder // nil = no telemetry
 
 	// OnDepart, if set, observes every completed packet at departure.
 	OnDepart func(*packet.Packet)
+}
+
+// RecorderSetter is implemented by schedulers that can emit telemetry
+// events (core.LAPS). System.SetRecorder forwards the recorder to the
+// attached scheduler through this interface, so callers wire the whole
+// stack with a single call.
+type RecorderSetter interface {
+	SetRecorder(*obs.Recorder)
 }
 
 // New builds a System. The scheduler may be nil only in SharedQueue mode.
@@ -172,6 +182,40 @@ func (s *System) Metrics() *Metrics { return &s.m }
 
 // Scheduler returns the attached scheduler (nil in pure FCFS mode).
 func (s *System) Scheduler() Scheduler { return s.sched }
+
+// SetRecorder attaches a telemetry recorder: drops and out-of-order
+// departures are emitted as events, the recorder's clock is bound to the
+// simulation engine, and the recorder is forwarded to the scheduler if
+// it implements RecorderSetter. Passing nil detaches telemetry.
+func (s *System) SetRecorder(r *obs.Recorder) {
+	s.rec = r
+	r.SetClock(s.eng.Now)
+	if rs, ok := s.sched.(RecorderSetter); ok {
+		rs.SetRecorder(r)
+	}
+}
+
+// Probes returns sampler probes over the data-plane state: one queue-
+// occupancy probe per core ("coreN.q"), the per-interval drop count
+// ("drops") and the out-of-order departure rate per completed packet
+// ("ooo-rate").
+func (s *System) Probes() []obs.Probe {
+	ps := make([]obs.Probe, 0, len(s.cores)+2)
+	for _, co := range s.cores {
+		co := co
+		ps = append(ps, obs.Probe{
+			Name: fmt.Sprintf("core%d.q", co.id),
+			Fn:   func() float64 { return float64(co.queueLen()) },
+		})
+	}
+	ps = append(ps,
+		obs.RateProbe("drops", func() uint64 { return s.m.Dropped }, nil),
+		obs.RateProbe("ooo-rate",
+			func() uint64 { return s.m.OutOfOrder },
+			func() uint64 { return s.m.Completed }),
+	)
+	return ps
+}
 
 // --- View implementation ---
 
@@ -221,6 +265,10 @@ func (s *System) enqueue(p *packet.Packet, co *core) {
 	if co.n == len(co.ring) && co.busy {
 		s.m.Dropped++
 		s.m.PerSvcDropped[p.Service]++
+		if s.rec != nil {
+			s.rec.Emit(obs.Event{Kind: obs.EvDrop, Service: int16(p.Service),
+				Core: int32(co.id), Core2: -1, Flow: p.Flow, Val: int64(co.queueLen())})
+		}
 		return
 	}
 	if last, ok := s.flowLast[p.Flow]; ok && int(last) != co.id {
@@ -258,6 +306,10 @@ func (s *System) injectShared(p *packet.Packet) {
 	if len(s.shared) >= s.sharedCap {
 		s.m.Dropped++
 		s.m.PerSvcDropped[p.Service]++
+		if s.rec != nil {
+			s.rec.Emit(obs.Event{Kind: obs.EvDrop, Service: int16(p.Service),
+				Core: -1, Core2: -1, Flow: p.Flow, Val: int64(len(s.shared))})
+		}
 		return
 	}
 	p.Enqueued = s.eng.Now()
@@ -306,6 +358,10 @@ func (s *System) complete(co *core) {
 	s.m.Latency[p.Service].Add(int64(p.Departed - p.Arrival))
 	if s.reorder.Record(p) {
 		s.m.OutOfOrder++
+		if s.rec != nil {
+			s.rec.Emit(obs.Event{Kind: obs.EvOOODepart, Service: int16(p.Service),
+				Core: int32(co.id), Core2: -1, Flow: p.Flow, Val: int64(p.FlowSeq)})
+		}
 	}
 	if s.OnDepart != nil {
 		s.OnDepart(p)

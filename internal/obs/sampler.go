@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"laps/internal/sim"
+	"laps/internal/stats"
+)
+
+// Probe reads one scalar signal at sample time: a queue length, a core
+// count, a rate. Instrumented packages export probe constructors
+// (npsim.System.Probes, core.LAPS.Probes) and the sampler polls them on
+// the simulated clock, so every experiment shares one sampling path
+// instead of a bespoke eng.At loop.
+type Probe struct {
+	Name string
+	Fn   func() float64
+}
+
+// RateProbe derives a per-interval rate from a cumulative counter: each
+// sample reports (counter - previous) / (delta numerator), i.e. the
+// fraction of new denominator events that were numerator events. With a
+// nil denominator it reports the raw delta of the numerator.
+func RateProbe(name string, num func() uint64, den func() uint64) Probe {
+	var lastNum, lastDen uint64
+	return Probe{Name: name, Fn: func() float64 {
+		n := num()
+		dn := n - lastNum
+		lastNum = n
+		if den == nil {
+			return float64(dn)
+		}
+		d := den()
+		dd := d - lastDen
+		lastDen = d
+		if dd == 0 {
+			return 0
+		}
+		return float64(dn) / float64(dd)
+	}}
+}
+
+// Sampler polls a probe set at a fixed simulated-time interval into a
+// columnar stats.Series (one shared time axis, one column per probe).
+type Sampler struct {
+	interval sim.Time
+	probes   []Probe
+	series   *stats.Series
+	buf      []float64
+}
+
+// NewSampler builds a sampler; interval must be positive.
+func NewSampler(interval sim.Time, probes ...Probe) *Sampler {
+	if interval <= 0 {
+		panic("obs: sampler interval must be positive")
+	}
+	names := make([]string, len(probes))
+	for i, p := range probes {
+		names[i] = p.Name
+	}
+	return &Sampler{
+		interval: interval,
+		probes:   probes,
+		series:   stats.NewSeries(names...),
+		buf:      make([]float64, len(probes)),
+	}
+}
+
+// Sample polls every probe once, recording the row at time now.
+func (s *Sampler) Sample(now sim.Time) {
+	for i, p := range s.probes {
+		s.buf[i] = p.Fn()
+	}
+	s.series.Append(now.Seconds(), s.buf...)
+}
+
+// Schedule arranges samples every interval on eng's clock, starting one
+// interval from now and stopping at until (inclusive). It self-
+// reschedules, so only one pending event exists at a time and the engine
+// drains normally once until passes.
+func (s *Sampler) Schedule(eng *sim.Engine, until sim.Time) {
+	var tick func()
+	next := eng.Now() + s.interval
+	tick = func() {
+		s.Sample(eng.Now())
+		next += s.interval
+		if next <= until {
+			eng.At(next, tick)
+		}
+	}
+	if next <= until {
+		eng.At(next, tick)
+	}
+}
+
+// Series returns the accumulated columnar series.
+func (s *Sampler) Series() *stats.Series { return s.series }

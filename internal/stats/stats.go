@@ -1,11 +1,13 @@
 // Package stats provides the small statistics toolkit the experiment
 // harness uses: running mean/variance, log-bucketed latency histograms,
-// fixed-bin time series, and load-balance indices (coefficient of
-// variation, Jain fairness).
+// fixed-bin time series, columnar telemetry series, and load-balance
+// indices (coefficient of variation, Jain fairness).
 package stats
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -236,6 +238,92 @@ func (ts *TimeSeries) MeanAt(i int) float64 {
 
 // BinStart returns the start time (seconds) of bin i.
 func (ts *TimeSeries) BinStart(i int) float64 { return float64(i) * ts.binWidth }
+
+// Series is a compact columnar time series: one shared time axis plus
+// named value columns appended in lockstep. It is the storage behind the
+// telemetry sampler (internal/obs) and replaces ad-hoc per-experiment
+// slices-of-rows: columns stay contiguous for cheap appends and direct
+// per-signal access.
+type Series struct {
+	names []string
+	times []float64
+	cols  [][]float64
+}
+
+// NewSeries creates a series with one column per name.
+func NewSeries(names ...string) *Series {
+	s := &Series{
+		names: append([]string(nil), names...),
+		cols:  make([][]float64, len(names)),
+	}
+	return s
+}
+
+// Append records one row at time t. len(vals) must equal the column
+// count.
+func (s *Series) Append(t float64, vals ...float64) {
+	if len(vals) != len(s.cols) {
+		panic(fmt.Sprintf("stats: appending %d values to a %d-column series", len(vals), len(s.cols)))
+	}
+	s.times = append(s.times, t)
+	for i, v := range vals {
+		s.cols[i] = append(s.cols[i], v)
+	}
+}
+
+// Len returns the number of rows.
+func (s *Series) Len() int { return len(s.times) }
+
+// Names returns the column names.
+func (s *Series) Names() []string { return append([]string(nil), s.names...) }
+
+// Time returns row i's timestamp.
+func (s *Series) Time(i int) float64 { return s.times[i] }
+
+// At returns column col's value at row i.
+func (s *Series) At(col, i int) float64 { return s.cols[col][i] }
+
+// Col returns the column with the given name (nil if absent). The
+// returned slice aliases the series' storage.
+func (s *Series) Col(name string) []float64 {
+	for i, n := range s.names {
+		if n == name {
+			return s.cols[i]
+		}
+	}
+	return nil
+}
+
+// ColMean returns the mean of column col (0 for an empty series).
+func (s *Series) ColMean(col int) float64 {
+	if len(s.times) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.cols[col] {
+		sum += v
+	}
+	return sum / float64(len(s.cols[col]))
+}
+
+// WriteCSV renders the series as CSV with a leading "t" time column.
+func (s *Series) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("t")
+	for _, n := range s.names {
+		bw.WriteByte(',')
+		bw.WriteString(n)
+	}
+	bw.WriteByte('\n')
+	for i := range s.times {
+		fmt.Fprintf(bw, "%g", s.times[i])
+		for c := range s.cols {
+			fmt.Fprintf(bw, ",%g", s.cols[c][i])
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
 
 // Percentile returns the p-th percentile (0<=p<=100) of a sample by
 // sorting a copy; intended for small result sets, not hot paths.

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand/v2"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -282,5 +283,103 @@ func TestHistogramBucketsAndSums(t *testing.T) {
 	}
 	if tot != h.Sum() {
 		t.Fatalf("bucket sums %v != total %v", tot, h.Sum())
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	var empty Histogram
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if empty.Mean() != 0 || empty.Max() != 0 || empty.N() != 0 {
+		t.Fatal("empty histogram reports non-zero summary")
+	}
+
+	// Single sample: every quantile lands in its bucket.
+	var one Histogram
+	one.Add(100) // bucket [64,128)
+	for _, q := range []float64{0.01, 0.5, 1} {
+		got := one.Quantile(q)
+		if got < 100 || got > 127 {
+			t.Fatalf("single-sample Quantile(%v) = %d, want within [100,127]", q, got)
+		}
+	}
+
+	// Duplicate values: the quantile sweep never leaves the bucket and
+	// stays monotone in q.
+	var dup Histogram
+	for i := 0; i < 1000; i++ {
+		dup.Add(42) // bucket [32,64)
+	}
+	prev := uint64(0)
+	for _, q := range []float64{0.001, 0.25, 0.5, 0.75, 0.999, 1} {
+		got := dup.Quantile(q)
+		if got < 42 || got > 63 {
+			t.Fatalf("duplicate Quantile(%v) = %d, want within [42,63]", q, got)
+		}
+		if got < prev {
+			t.Fatalf("quantile not monotone at q=%v", q)
+		}
+		prev = got
+	}
+	if dup.Mean() != 42 {
+		t.Fatalf("duplicate mean = %v, want 42", dup.Mean())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("a", "b")
+	if s.Len() != 0 {
+		t.Fatal("new series not empty")
+	}
+	if s.ColMean(0) != 0 {
+		t.Fatal("empty series mean not 0")
+	}
+	s.Append(0.1, 1, 10)
+	s.Append(0.2, 2, 20)
+	s.Append(0.3, 3, 30)
+	if s.Len() != 3 {
+		t.Fatalf("len %d, want 3", s.Len())
+	}
+	if s.Time(1) != 0.2 || s.At(0, 1) != 2 || s.At(1, 2) != 30 {
+		t.Fatal("row access wrong")
+	}
+	if got := s.Col("b"); len(got) != 3 || got[0] != 10 {
+		t.Fatalf("Col(b) = %v", got)
+	}
+	if s.Col("missing") != nil {
+		t.Fatal("missing column should be nil")
+	}
+	if got := s.ColMean(0); got != 2 {
+		t.Fatalf("ColMean = %v, want 2", got)
+	}
+	if names := s.Names(); len(names) != 2 || names[0] != "a" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestSeriesAppendArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on arity mismatch")
+		}
+	}()
+	NewSeries("a", "b").Append(0, 1)
+}
+
+func TestSeriesWriteCSV(t *testing.T) {
+	s := NewSeries("q", "drops")
+	s.Append(0.5, 3, 0)
+	s.Append(1.5, 4.25, 2)
+	var buf strings.Builder
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "t,q,drops\n0.5,3,0\n1.5,4.25,2\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
 	}
 }

@@ -31,10 +31,12 @@ import (
 	"laps/internal/core"
 	"laps/internal/exp"
 	"laps/internal/npsim"
+	"laps/internal/obs"
 	"laps/internal/packet"
 	"laps/internal/power"
 	"laps/internal/rob"
 	"laps/internal/sim"
+	"laps/internal/stats"
 	"laps/internal/trace"
 	"laps/internal/traffic"
 )
@@ -101,7 +103,50 @@ type (
 	Options = exp.Options
 	// Table is a rendered experiment result.
 	Table = exp.Table
+
+	// Recorder is the ring-buffered telemetry event recorder. A nil
+	// *Recorder is a safe no-op, so instrumentation can stay wired in
+	// permanently and cost one branch when tracing is off.
+	Recorder = obs.Recorder
+	// Event is one recorded control-plane event (migration, map split,
+	// core steal, drop, ...).
+	Event = obs.Event
+	// EventKind classifies telemetry events.
+	EventKind = obs.Kind
+	// Sink consumes drained telemetry events (JSONL, Chrome trace).
+	Sink = obs.Sink
+	// Series is the columnar time series the metrics sampler produces.
+	Series = stats.Series
 )
+
+// Telemetry event kinds (see docs/OBSERVABILITY.md).
+const (
+	EvFlowMigration = obs.EvFlowMigration
+	EvMapSplit      = obs.EvMapSplit
+	EvMapMerge      = obs.EvMapMerge
+	EvCoreSteal     = obs.EvCoreSteal
+	EvCorePark      = obs.EvCorePark
+	EvCoreReturn    = obs.EvCoreReturn
+	EvSurplusMark   = obs.EvSurplusMark
+	EvSurplusUnmark = obs.EvSurplusUnmark
+	EvAFCPromote    = obs.EvAFCPromote
+	EvAFCDemote     = obs.EvAFCDemote
+	EvAFCInvalidate = obs.EvAFCInvalidate
+	EvOOODepart     = obs.EvOOODepart
+	EvDrop          = obs.EvDrop
+)
+
+// NewRecorder builds a telemetry recorder holding up to capacity events
+// (<= 0 selects the 65536-event default). Pass it to SimConfig.Trace or
+// a Scheduler/Detector SetRecorder, then Drain into a Sink.
+func NewRecorder(capacity int) *Recorder { return obs.NewRecorder(capacity) }
+
+// NewJSONLSink writes drained events as one JSON object per line.
+func NewJSONLSink(w io.Writer) Sink { return obs.NewJSONLSink(w) }
+
+// NewChromeTraceSink writes drained events in Chrome's trace-event JSON
+// format, loadable in chrome://tracing or https://ui.perfetto.dev.
+func NewChromeTraceSink(w io.Writer) Sink { return obs.NewChromeTraceSink(w) }
 
 // Time unit constants.
 const (
@@ -219,6 +264,16 @@ type SimConfig struct {
 	// *restoration*, the alternative the paper contrasts in related
 	// work [35]) and reports its cost in Result.Restored.
 	RestoreOrder bool
+	// Trace, when non-nil, records control-plane telemetry events
+	// (flow migrations, map splits/merges, core steals, AFC activity,
+	// drops, out-of-order departures) during the run. Drain it into a
+	// Sink afterwards.
+	Trace *Recorder
+	// MetricsInterval, when positive, samples per-core queue depths,
+	// drop and reordering rates — plus per-service core counts and AFD
+	// hit rates under LAPS — every interval of simulated time into
+	// Result.Series.
+	MetricsInterval Time
 	// Seed drives all randomness; 0 means 1.
 	Seed uint64
 }
@@ -241,6 +296,9 @@ type Result struct {
 	// buffer's statistics plus the out-of-order count *after*
 	// restoration.
 	Restored *RestoredOrder
+	// Series is non-nil when MetricsInterval was set: the sampled
+	// telemetry time series (WriteCSV renders it).
+	Series *Series
 }
 
 // RestoredOrder reports what egress order restoration cost and achieved.
@@ -336,6 +394,18 @@ func Simulate(cfg SimConfig) (*Result, error) {
 
 	eng := sim.NewEngine()
 	sys := npsim.New(eng, sysCfg, scheduler)
+	if cfg.Trace != nil {
+		sys.SetRecorder(cfg.Trace)
+	}
+	var sampler *obs.Sampler
+	if cfg.MetricsInterval > 0 {
+		probes := sys.Probes()
+		if l := lapsOf(scheduler); l != nil {
+			probes = append(probes, l.Probes(sys)...)
+		}
+		sampler = obs.NewSampler(cfg.MetricsInterval, probes...)
+		sampler.Schedule(eng, cfg.Duration)
+	}
 
 	var tracker *npsim.ReorderTracker
 	var buf *rob.Buffer
@@ -380,6 +450,9 @@ func Simulate(cfg SimConfig) (*Result, error) {
 			Buffer:          buf.Stats(),
 		}
 	}
+	if sampler != nil {
+		res.Series = sampler.Series()
+	}
 	if scheduler != nil {
 		res.Scheduler = scheduler.Name()
 	} else {
@@ -404,8 +477,25 @@ type remapScheduler struct {
 	remap [packet.NumServices]ServiceID
 }
 
+// lapsOf unwraps a scheduler (possibly remap-wrapped) to its LAPS core,
+// or nil if the scheduler is not LAPS.
+func lapsOf(s npsim.Scheduler) *core.LAPS {
+	if rm, ok := s.(*remapScheduler); ok {
+		s = rm.inner
+	}
+	l, _ := s.(*core.LAPS)
+	return l
+}
+
 // Name identifies the wrapped scheduler.
 func (r *remapScheduler) Name() string { return r.inner.Name() }
+
+// SetRecorder forwards telemetry wiring to the wrapped scheduler.
+func (r *remapScheduler) SetRecorder(rec *obs.Recorder) {
+	if rs, ok := r.inner.(npsim.RecorderSetter); ok {
+		rs.SetRecorder(rec)
+	}
+}
 
 // Target forwards to the wrapped scheduler with the remapped service ID.
 func (r *remapScheduler) Target(p *packet.Packet, v npsim.View) int {
