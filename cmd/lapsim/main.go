@@ -14,6 +14,15 @@
 //	lapsim -chrome out.json -scenario T6     # chrome://tracing timeline
 //	lapsim -metrics out.csv -metrics-interval 500us
 //
+// Live mode (-live) executes one scenario on real goroutine cores with
+// SPSC rings instead of the simulator (see docs/RUNTIME.md):
+//
+//	lapsim -live -scenario T5 -live-workers 8
+//	lapsim -live -pcap capture.pcap -live-pace 1   # paced pcap replay
+//
+// The four modes (-exp, -list, -trace/-chrome/-metrics, -live) are
+// mutually exclusive; combining them is a usage error.
+//
 // Profiling hooks (-cpuprofile/-memprofile) work in every mode.
 package main
 
@@ -26,12 +35,17 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
 	"time"
 
+	"laps"
 	"laps/internal/exp"
 	"laps/internal/obs"
+	"laps/internal/packet"
 	"laps/internal/plot"
 	"laps/internal/sim"
+	"laps/internal/traffic"
 )
 
 var (
@@ -52,14 +66,89 @@ var (
 	chromePath  = flag.String("chrome", "", "like -trace but in Chrome trace-event JSON (open in chrome://tracing)")
 	metricsPath = flag.String("metrics", "", "write the instrumented scenario's sampled time series as CSV to this file")
 	metricsInt  = flag.Duration("metrics-interval", time.Millisecond, "simulated-time sampling interval for -metrics")
-	scenario    = flag.String("scenario", "T5", "Table VI scenario (T1..T8) for telemetry mode")
+	scenario    = flag.String("scenario", "T5", "Table VI scenario (T1..T8) for telemetry and live mode")
 	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	verbose     = flag.Bool("v", false, "verbose (debug-level) progress logging")
+
+	live        = flag.Bool("live", false, "run one scenario on live goroutine workers instead of the simulator")
+	liveWorkers = flag.Int("live-workers", 4, "live mode: worker goroutines (cores)")
+	livePace    = flag.Float64("live-pace", 0, "live mode: playback speed vs the virtual clock (1 = real time, 0 = flat out)")
+	liveWork    = flag.String("live-work", "none", "live mode: per-packet work emulation (none|spin|sleep)")
+	liveBlock   = flag.Bool("live-block", false, "live mode: apply backpressure instead of dropping on full rings")
+	pcapPath    = flag.String("pcap", "", "live mode: replay this pcap capture (looped) instead of the scenario traces")
 )
+
+// modeFlags maps each mode-selecting flag to the mode it requests, and
+// optionFlags ties mode-specific options to the modes that honour them.
+var (
+	modeFlags = map[string]string{
+		"exp":     "table",
+		"list":    "list",
+		"trace":   "telemetry",
+		"chrome":  "telemetry",
+		"metrics": "telemetry",
+		"live":    "live",
+	}
+	optionFlags = map[string][]string{
+		"metrics-interval": {"telemetry"},
+		"scenario":         {"telemetry", "live"},
+		"live-workers":     {"live"},
+		"live-pace":        {"live"},
+		"live-work":        {"live"},
+		"live-block":       {"live"},
+		"pcap":             {"live"},
+	}
+)
+
+// validateFlags rejects flag combinations that mix modes, returning the
+// selected mode ("table" when none was picked explicitly).
+func validateFlags() (string, error) {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	picked := map[string]bool{}
+	for name, mode := range modeFlags {
+		if set[name] {
+			picked[mode] = true
+		}
+	}
+	if len(picked) > 1 {
+		modes := make([]string, 0, len(picked))
+		for m := range picked {
+			modes = append(modes, m)
+		}
+		sort.Strings(modes)
+		return "", fmt.Errorf("flags select conflicting modes (%s): -exp, -list, -trace/-chrome/-metrics and -live are mutually exclusive",
+			strings.Join(modes, ", "))
+	}
+	mode := "table"
+	for m := range picked {
+		mode = m
+	}
+	for name, modes := range optionFlags {
+		if !set[name] {
+			continue
+		}
+		ok := false
+		for _, m := range modes {
+			ok = ok || m == mode
+		}
+		if !ok {
+			return "", fmt.Errorf("-%s only applies to %s mode", name, strings.Join(modes, "/"))
+		}
+	}
+	return mode, nil
+}
 
 func main() {
 	flag.Parse()
+	mode, err := validateFlags()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lapsim: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	lvl := slog.LevelWarn
 	if *verbose {
@@ -73,13 +162,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(); err != nil {
+	if err := run(mode); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(mode string) error {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -117,10 +206,111 @@ func run() error {
 		StreamPackets: *packets,
 	}
 
-	if *tracePath != "" || *chromePath != "" || *metricsPath != "" {
+	switch mode {
+	case "telemetry":
 		return runTraced(opts)
+	case "live":
+		return runLive(opts)
+	default:
+		return runTables(opts)
 	}
-	return runTables(opts)
+}
+
+// runLive executes one Table VI scenario (or a pcap replay) on the live
+// goroutine runtime and prints its data-path counters.
+func runLive(opts exp.Options) error {
+	var work laps.WorkKind
+	switch *liveWork {
+	case "none":
+		work = laps.WorkNone
+	case "spin":
+		work = laps.WorkSpin
+	case "sleep":
+		work = laps.WorkSleep
+	default:
+		return fmt.Errorf("unknown -live-work %q (want none, spin or sleep)", *liveWork)
+	}
+
+	cfg := laps.RunConfig{
+		Workers:         *liveWorkers,
+		Duration:        sim.Time(dur.Nanoseconds()),
+		TimeCompression: opts.ModelSeconds / dur.Seconds(),
+		Pace:            *livePace,
+		Block:           *liveBlock,
+		Work:            work,
+		Seed:            *seed,
+	}
+	if *pcapPath != "" {
+		f, err := os.Open(*pcapPath)
+		if err != nil {
+			return err
+		}
+		recs, err := laps.ReadPcap(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			return fmt.Errorf("%s: empty capture", *pcapPath)
+		}
+		rs := make([]laps.TraceRecord, len(recs))
+		for i, r := range recs {
+			rs[i] = r.Record
+		}
+		cfg.Traffic = []laps.ServiceTraffic{{
+			Service: laps.SvcIPForward,
+			Params:  traffic.Set1()[packet.SvcIPForward],
+			Trace:   laps.ReplayTrace(filepath.Base(*pcapPath), rs, true),
+		}}
+	} else {
+		sc, err := findScenario(*scenario)
+		if err != nil {
+			return err
+		}
+		for svc := 0; svc < packet.NumServices; svc++ {
+			cfg.Traffic = append(cfg.Traffic, laps.ServiceTraffic{
+				Service: packet.ServiceID(svc),
+				Params:  sc.Params[svc],
+				Trace:   sc.Group.Sources[svc](),
+			})
+		}
+	}
+
+	slog.Debug("live run", "workers", *liveWorkers, "duration", *dur,
+		"pace", *livePace, "work", *liveWork)
+	res, err := laps.Run(cfg)
+	if err != nil {
+		return err
+	}
+	l := res.Live
+	fmt.Printf("live run: %d workers, scheduler %s, wall %v\n",
+		*liveWorkers, res.Scheduler, l.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  generated=%d dispatched=%d processed=%d dropped=%d (%.2f%% loss)\n",
+		res.Generated, l.Dispatched, l.Processed, l.Dropped,
+		100*float64(l.Dropped)/float64(max(l.Dispatched, 1)))
+	fmt.Printf("  migrations=%d fenced=%d out-of-order=%d throughput=%.0f pps\n",
+		l.Migrations, l.Fenced, l.OutOfOrder,
+		float64(l.Processed)/l.Elapsed.Seconds())
+	for _, w := range l.Workers {
+		fmt.Printf("  worker %d: processed=%d dropped=%d batches=%d\n",
+			w.ID, w.Processed, w.Dropped, w.Batches)
+	}
+	if res.LapsStats != nil {
+		s := res.LapsStats
+		fmt.Printf("  laps: migrations=%d core-requests=%d grants=%d surplus-marks=%d\n",
+			s.Migrations, s.CoreRequests, s.CoreGrants, s.SurplusMarks)
+	}
+	return nil
+}
+
+// findScenario resolves a Table VI scenario by name.
+func findScenario(name string) (exp.Scenario, error) {
+	for _, sc := range exp.Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return exp.Scenario{}, fmt.Errorf("unknown scenario %q (want T1..T8)", name)
 }
 
 // runTraced executes one instrumented scenario and writes the requested

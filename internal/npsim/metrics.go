@@ -11,38 +11,91 @@ import (
 // sequence number already departed. Dropped packets leave gaps but gaps
 // are not reorderings.
 //
-// Memory behavior: the tracker keeps one 8-byte watermark per distinct
-// flow key ever recorded and never evicts — flow state cannot be aged
-// out without risking false negatives on late stragglers. Memory
-// therefore grows linearly with the number of distinct flows (~21 bytes
-// of key+value per flow plus map overhead; about 3 MB per million
-// flows). For long-lived processes tracking unbounded flow populations,
-// call Reset at run boundaries (the simulator builds one tracker per
-// run, so paper-scale experiments never approach this).
+// Memory behavior: by default the tracker keeps one 8-byte watermark
+// per distinct flow key ever recorded and never evicts — flow state
+// cannot be aged out without risking false negatives on late
+// stragglers. Memory therefore grows linearly with the number of
+// distinct flows (~21 bytes of key+value per flow plus map overhead;
+// about 3 MB per million flows). Simulation runs build one tracker per
+// run, so paper-scale experiments never approach this; long-lived
+// *runtime* processes should either call Reset at run boundaries or
+// bound the tracker with NewReorderTrackerCap, which evicts the
+// oldest-seen flows first (FIFO) once the capacity is reached. An
+// evicted flow that later sends again is treated as new, so a bounded
+// tracker can under-count reordering across eviction boundaries; the
+// Evicted counter makes that loss observable.
 type ReorderTracker struct {
 	// next[f] is one past the highest FlowSeq that has departed for f.
 	next      map[packet.FlowKey]uint64
 	ooo       uint64
 	delivered uint64
+
+	cap      int              // 0 = unbounded
+	fifo     []packet.FlowKey // insertion order, fifo[fifoHead:] are live
+	fifoHead int
+	evicted  uint64
 }
 
-// NewReorderTracker returns an empty tracker.
+// NewReorderTracker returns an empty, unbounded tracker.
 func NewReorderTracker() *ReorderTracker {
 	return &ReorderTracker{next: make(map[packet.FlowKey]uint64, 1<<14)}
+}
+
+// NewReorderTrackerCap returns a tracker that holds at most capacity
+// per-flow watermarks, evicting the oldest-inserted flow when a new one
+// would exceed it. capacity <= 0 means unbounded (same as
+// NewReorderTracker).
+func NewReorderTrackerCap(capacity int) *ReorderTracker {
+	if capacity <= 0 {
+		return NewReorderTracker()
+	}
+	hint := capacity
+	if hint > 1<<14 {
+		hint = 1 << 14
+	}
+	return &ReorderTracker{
+		next: make(map[packet.FlowKey]uint64, hint),
+		cap:  capacity,
+		fifo: make([]packet.FlowKey, 0, hint),
+	}
 }
 
 // Record notes one departing packet and reports whether it was out of
 // order.
 func (r *ReorderTracker) Record(p *packet.Packet) bool {
 	r.delivered++
-	cur := r.next[p.Flow]
+	cur, seen := r.next[p.Flow]
 	if p.FlowSeq+1 > cur {
+		if !seen && r.cap > 0 {
+			if len(r.next) >= r.cap {
+				r.evictOldest()
+			}
+			r.fifo = append(r.fifo, p.Flow)
+		}
 		r.next[p.Flow] = p.FlowSeq + 1
 		return false
 	}
 	r.ooo++
 	return true
 }
+
+// evictOldest drops the least-recently-inserted flow's watermark.
+func (r *ReorderTracker) evictOldest() {
+	delete(r.next, r.fifo[r.fifoHead])
+	r.fifo[r.fifoHead] = packet.FlowKey{}
+	r.fifoHead++
+	r.evicted++
+	// Compact the queue once the dead prefix dominates, keeping
+	// amortised O(1) eviction without unbounded slice growth.
+	if r.fifoHead > len(r.fifo)/2 && r.fifoHead > 1024 {
+		r.fifo = append(r.fifo[:0], r.fifo[r.fifoHead:]...)
+		r.fifoHead = 0
+	}
+}
+
+// Evicted reports how many flow watermarks a bounded tracker has
+// discarded; each is a potential missed reordering.
+func (r *ReorderTracker) Evicted() uint64 { return r.evicted }
 
 // OutOfOrder returns the number of out-of-order departures so far.
 func (r *ReorderTracker) OutOfOrder() uint64 { return r.ooo }
@@ -56,11 +109,15 @@ func (r *ReorderTracker) Flows() int { return len(r.next) }
 
 // Reset discards all per-flow watermarks and zeroes the counters,
 // releasing the tracker's memory. Use at run boundaries when a single
-// tracker outlives many traffic windows.
+// tracker outlives many traffic windows. The capacity bound, if any,
+// is kept.
 func (r *ReorderTracker) Reset() {
 	r.next = make(map[packet.FlowKey]uint64, 1<<14)
 	r.ooo = 0
 	r.delivered = 0
+	r.fifo = r.fifo[:0]
+	r.fifoHead = 0
+	r.evicted = 0
 }
 
 // Metrics aggregates everything the paper's figures report.

@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"sync"
+
+	"laps/internal/crc"
+	"laps/internal/npsim"
+	"laps/internal/packet"
+)
+
+// reorderShards is the shard count of the concurrent egress tracker.
+// Sharding by flow hash keeps two workers from contending unless they
+// are simultaneously retiring packets of flows that collide on a shard
+// — rare at 32 shards and a handful of workers.
+const reorderShards = 32
+
+// sharedTracker is a concurrency-safe egress reorder detector. The
+// per-flow watermark logic is npsim.ReorderTracker's; this type only
+// adds sharded locking so every worker can record departures without a
+// global serialisation point.
+type sharedTracker struct {
+	shards [reorderShards]struct {
+		mu sync.Mutex
+		t  *npsim.ReorderTracker
+		_  [40]byte // keep shards on distinct cache lines
+	}
+}
+
+// newSharedTracker builds a tracker. flowCap <= 0 keeps unbounded
+// per-flow state; otherwise the bound is split across shards (minimum 1
+// flow per shard).
+func newSharedTracker(flowCap int) *sharedTracker {
+	s := &sharedTracker{}
+	per := 0
+	if flowCap > 0 {
+		per = (flowCap + reorderShards - 1) / reorderShards
+	}
+	for i := range s.shards {
+		if per > 0 {
+			s.shards[i].t = npsim.NewReorderTrackerCap(per)
+		} else {
+			s.shards[i].t = npsim.NewReorderTracker()
+		}
+	}
+	return s
+}
+
+// record notes one departure and reports whether it was out of order.
+// Safe for concurrent use.
+func (s *sharedTracker) record(p *packet.Packet) bool {
+	sh := &s.shards[crc.FlowHash(p.Flow)%reorderShards]
+	sh.mu.Lock()
+	ooo := sh.t.Record(p)
+	sh.mu.Unlock()
+	return ooo
+}
+
+// outOfOrder sums out-of-order departures across shards.
+func (s *sharedTracker) outOfOrder() uint64 {
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.t.OutOfOrder()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// evicted sums evicted flow watermarks across shards.
+func (s *sharedTracker) evicted() uint64 {
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.t.Evicted()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// flows sums tracked flows across shards.
+func (s *sharedTracker) flows() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.t.Flows()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,472 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"laps/internal/npsim"
+	"laps/internal/obs"
+	"laps/internal/packet"
+	"laps/internal/sim"
+	"laps/internal/stats"
+)
+
+// Policy selects what the dispatcher does with a packet whose target
+// ring is full.
+type Policy int
+
+const (
+	// DropWhenFull discards the packet and counts it — the behaviour of
+	// a hardware frame manager with a full descriptor queue, and of the
+	// simulator.
+	DropWhenFull Policy = iota
+	// BlockWhenFull stalls the dispatcher until the ring drains,
+	// applying backpressure to the arrival source. Used by paced
+	// replays and the conformance harness, where losing packets would
+	// change the comparison.
+	BlockWhenFull
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// Workers is the number of worker goroutines ("cores"); >= 1.
+	Workers int
+	// RingCap is each worker's SPSC ring capacity (rounded up to a
+	// power of two); 0 means 256.
+	RingCap int
+	// Batch is the dispatch/consume batch size; 0 means 32.
+	Batch int
+	// Sched picks the target worker per packet. Required. Called only
+	// from the dispatcher goroutine.
+	Sched npsim.Scheduler
+	// Policy is the full-ring behaviour (default DropWhenFull).
+	Policy Policy
+	// DisableFencing turns off ordering-safe migration: a migrated
+	// flow's packets go to the new worker immediately, even while older
+	// packets of the flow are still queued on the old one. Exposes the
+	// reordering the fence exists to prevent; useful for ablation.
+	DisableFencing bool
+	// Work emulates per-packet processing cost (default WorkNone).
+	Work WorkKind
+	// WorkFactor scales the modeled service time into real time for
+	// WorkSpin/WorkSleep; 0 means 1.
+	WorkFactor float64
+	// Services is the processing-time model used by Work; the zero
+	// value selects npsim.DefaultServices.
+	Services [packet.NumServices]npsim.ServiceDef
+	// Handler, when set, is invoked by the owning worker for every
+	// packet — the application's processing hook. It runs concurrently
+	// across workers but serially within one.
+	Handler func(worker int, p *packet.Packet)
+	// Recorder, when non-nil, receives control-plane telemetry: drops
+	// from the dispatcher, out-of-order departures from workers (merged
+	// at Stop), plus whatever the scheduler itself emits. Events are
+	// stamped with the runtime clock (ns since Start).
+	Recorder *obs.Recorder
+	// MetricsInterval, when positive, samples per-worker queue depths
+	// and throughput/drop/reorder rates on the wall clock into
+	// Result.Series.
+	MetricsInterval time.Duration
+	// ReorderCap bounds the egress reorder tracker's per-flow state;
+	// 0 keeps exact (unbounded) tracking.
+	ReorderCap int
+	// FlowStateCap bounds the dispatcher's per-flow routing table.
+	// When exceeded, entries whose packets have all been retired are
+	// swept; 0 means 1<<20.
+	FlowStateCap int
+}
+
+// flowState is the dispatcher's record of where a flow's packets go and
+// how far into that worker's sequence space its newest packet sits.
+// The pair doubles as the migration fence: the flow may only switch
+// workers once the old worker's retired count passes seq.
+type flowState struct {
+	core int32
+	seq  uint64
+}
+
+// WorkerReport is one worker's end-of-run accounting.
+type WorkerReport struct {
+	ID         int
+	Processed  uint64 // packets retired
+	Dropped    uint64 // packets bound for this worker lost to a full ring
+	OutOfOrder uint64 // out-of-order departures observed at this worker
+	Batches    uint64 // non-empty ring consume batches
+}
+
+// Result is the outcome of a runtime execution.
+type Result struct {
+	Dispatched   uint64 // packets offered to the scheduler
+	Processed    uint64 // packets retired by workers
+	Dropped      uint64 // packets lost to full rings
+	OutOfOrder   uint64 // out-of-order departures (egress tracker)
+	Migrations   uint64 // flows actually switched workers
+	Fenced       uint64 // packets held on their old worker by a fence
+	TrackedFlows int    // flows live in the reorder tracker at stop
+	EvictedFlows uint64 // reorder-tracker watermarks evicted (bounded mode)
+	Elapsed      time.Duration
+	Workers      []WorkerReport
+	// Series is non-nil when MetricsInterval was set.
+	Series *stats.Series
+}
+
+// Engine runs a scheduler against real goroutine workers. Construct
+// with New, call Start, feed packets through Dispatch (or DispatchTo)
+// from a single goroutine, then Stop to drain and collect the Result.
+type Engine struct {
+	cfg     Config
+	workers []*worker
+	staged  [][]*packet.Packet
+	enqSeq  []uint64 // per-worker packets handed over (staged + pushed)
+
+	flows   map[packet.FlowKey]flowState
+	flowCap int
+	tracker *sharedTracker
+	rec     *obs.Recorder
+
+	start time.Time
+	ctx   context.Context
+	wg    sync.WaitGroup
+
+	dispatched atomic.Uint64
+	dropped    atomic.Uint64
+	perWDrop   []atomic.Uint64
+	migrations atomic.Uint64
+	fenced     atomic.Uint64
+
+	sampler     *obs.Sampler
+	samplerStop chan struct{}
+	samplerDone chan struct{}
+
+	started, stopped bool
+}
+
+// New validates cfg and builds an engine (workers not yet running).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("runtime: need at least one worker, got %d", cfg.Workers)
+	}
+	if cfg.Sched == nil {
+		return nil, fmt.Errorf("runtime: Config.Sched is required")
+	}
+	if cfg.RingCap <= 0 {
+		cfg.RingCap = 256
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+	if cfg.WorkFactor == 0 {
+		cfg.WorkFactor = 1
+	}
+	if cfg.FlowStateCap <= 0 {
+		cfg.FlowStateCap = 1 << 20
+	}
+	var zero [packet.NumServices]npsim.ServiceDef
+	if cfg.Services == zero {
+		cfg.Services = npsim.DefaultServices()
+	}
+	e := &Engine{
+		cfg:      cfg,
+		flows:    make(map[packet.FlowKey]flowState, 1<<14),
+		flowCap:  cfg.FlowStateCap,
+		tracker:  newSharedTracker(cfg.ReorderCap),
+		rec:      cfg.Recorder,
+		perWDrop: make([]atomic.Uint64, cfg.Workers),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			id:         i,
+			ring:       NewRing(cfg.RingCap),
+			tracker:    e.tracker,
+			now:        e.Now,
+			work:       cfg.Work,
+			workFactor: cfg.WorkFactor,
+			services:   cfg.Services,
+			handler:    cfg.Handler,
+		}
+		w.idleSince.Store(0)
+		if e.rec != nil {
+			// Workers get private recorders (merged at Stop) because
+			// obs.Recorder is single-writer by design.
+			w.rec = obs.NewRecorder(obs.DefaultRingCap / cfg.Workers)
+			w.rec.SetClock(e.Now)
+		}
+		e.workers = append(e.workers, w)
+		e.staged = append(e.staged, make([]*packet.Packet, 0, cfg.Batch))
+	}
+	e.enqSeq = make([]uint64, cfg.Workers)
+	return e, nil
+}
+
+// Now is the runtime clock: nanoseconds since Start, as a sim.Time so
+// schedulers written for the simulator read it unchanged.
+func (e *Engine) Now() sim.Time {
+	return sim.Time(time.Since(e.start).Nanoseconds())
+}
+
+// --- npsim.View (consulted by the scheduler on the dispatcher goroutine) ---
+
+// NumCores returns the worker count.
+func (e *Engine) NumCores() int { return len(e.workers) }
+
+// QueueLen returns worker c's backlog as the scheduler should see it:
+// ring occupancy plus in-service packets plus staged-but-unflushed ones.
+func (e *Engine) QueueLen(c int) int {
+	return e.workers[c].queueLen() + len(e.staged[c])
+}
+
+// QueueCap returns the per-worker ring capacity.
+func (e *Engine) QueueCap() int { return e.workers[0].ring.Cap() }
+
+// IdleFor returns how long worker c has been out of work.
+func (e *Engine) IdleFor(c int) sim.Time {
+	if len(e.staged[c]) > 0 {
+		return 0
+	}
+	return e.workers[c].idleFor(e.Now())
+}
+
+// Start launches the workers (and the metrics sampler, if configured).
+// ctx cancellation makes blocking enqueues give up; the run itself is
+// ended by Stop.
+func (e *Engine) Start(ctx context.Context) {
+	if e.started {
+		panic("runtime: Engine started twice")
+	}
+	e.started = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+	e.start = time.Now()
+	if e.rec != nil {
+		e.rec.SetClock(e.Now)
+	}
+	for _, w := range e.workers {
+		w := w
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			w.run(e.cfg.Batch)
+		}()
+	}
+	if e.cfg.MetricsInterval > 0 {
+		e.startSampler()
+	}
+}
+
+// Dispatch offers one packet: the scheduler picks a worker, fencing
+// adjusts for in-flight ordering, and the packet is enqueued. It
+// reports whether the packet was accepted (false = dropped). Must be
+// called from a single goroutine.
+func (e *Engine) Dispatch(p *packet.Packet) bool {
+	t := e.cfg.Sched.Target(p, e)
+	if t < 0 || t >= len(e.workers) {
+		panic(fmt.Sprintf("runtime: scheduler %q returned invalid worker %d", e.cfg.Sched.Name(), t))
+	}
+	return e.DispatchTo(p, t)
+}
+
+// DispatchTo routes a packet whose target was already decided (the
+// conformance harness mirrors simulator decisions through this). Same
+// contract as Dispatch.
+func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
+	e.dispatched.Add(1)
+	st, seen := e.flows[p.Flow]
+	if seen && int(st.core) != target {
+		if e.cfg.DisableFencing || e.workers[st.core].processed.Load() >= st.seq {
+			// The old worker retired every packet of this flow (or we
+			// were asked not to care): the switch is ordering-safe.
+			e.migrations.Add(1)
+		} else {
+			// Fence: the flow stays on its old worker until the drain
+			// completes, so its in-flight packets cannot be overtaken.
+			e.fenced.Add(1)
+			target = int(st.core)
+		}
+	}
+	if !e.push(p, target) {
+		return false
+	}
+	e.rememberFlow(p.Flow, target)
+	return true
+}
+
+// rememberFlow updates the flow's routing record, sweeping drained
+// entries when the table outgrows its cap.
+func (e *Engine) rememberFlow(f packet.FlowKey, target int) {
+	if _, ok := e.flows[f]; !ok && len(e.flows) >= e.flowCap {
+		for k, st := range e.flows {
+			if e.workers[st.core].processed.Load() >= st.seq {
+				delete(e.flows, k)
+			}
+		}
+	}
+	e.flows[f] = flowState{core: int32(target), seq: e.enqSeq[target]}
+}
+
+// push stages p for worker w, flushing when the stage buffer fills.
+// Fullness is decided against a conservative occupancy estimate
+// (ring + staged), so flushes never fail: the worker only drains the
+// ring between dispatcher steps.
+func (e *Engine) push(p *packet.Packet, w int) bool {
+	wk := e.workers[w]
+	for wk.ring.Len()+len(e.staged[w]) >= wk.ring.Cap() {
+		if e.cfg.Policy == DropWhenFull || e.ctx.Err() != nil {
+			e.dropped.Add(1)
+			e.perWDrop[w].Add(1)
+			if e.rec != nil {
+				e.rec.Emit(obs.Event{Kind: obs.EvDrop, Service: int16(p.Service),
+					Core: int32(w), Core2: -1, Flow: p.Flow,
+					Val: int64(wk.ring.Len() + len(e.staged[w]))})
+			}
+			return false
+		}
+		// Backpressure: publish what we have and wait for the drain.
+		e.flushWorker(w)
+		time.Sleep(5 * time.Microsecond)
+	}
+	e.staged[w] = append(e.staged[w], p)
+	e.enqSeq[w]++
+	if len(e.staged[w]) >= e.cfg.Batch {
+		e.flushWorker(w)
+	}
+	return true
+}
+
+// flushWorker publishes worker w's staged packets into its ring. By
+// construction (see push) the ring always has room.
+func (e *Engine) flushWorker(w int) {
+	s := e.staged[w]
+	if len(s) == 0 {
+		return
+	}
+	n := e.workers[w].ring.PushBatch(s)
+	if n != len(s) {
+		panic(fmt.Sprintf("runtime: ring %d rejected %d staged packets", w, len(s)-n))
+	}
+	e.staged[w] = s[:0]
+}
+
+// Flush publishes every staged packet. Call when the arrival stream
+// pauses (pacing gaps) so low-rate workers are not starved.
+func (e *Engine) Flush() {
+	for w := range e.staged {
+		e.flushWorker(w)
+	}
+}
+
+// Stop flushes, closes the rings, waits for the workers to drain, stops
+// the sampler and returns the collected Result. The engine cannot be
+// restarted.
+func (e *Engine) Stop() *Result {
+	if !e.started || e.stopped {
+		panic("runtime: Stop on a non-running engine")
+	}
+	e.stopped = true
+	e.Flush()
+	for _, w := range e.workers {
+		w.ring.Close()
+	}
+	e.wg.Wait()
+	elapsed := time.Since(e.start)
+	if e.samplerStop != nil {
+		close(e.samplerStop)
+		<-e.samplerDone
+	}
+	e.mergeWorkerEvents()
+
+	res := &Result{
+		Dispatched:   e.dispatched.Load(),
+		Dropped:      e.dropped.Load(),
+		Migrations:   e.migrations.Load(),
+		Fenced:       e.fenced.Load(),
+		OutOfOrder:   e.tracker.outOfOrder(),
+		TrackedFlows: e.tracker.flows(),
+		EvictedFlows: e.tracker.evicted(),
+		Elapsed:      elapsed,
+	}
+	for i, w := range e.workers {
+		res.Processed += w.processed.Load()
+		res.Workers = append(res.Workers, WorkerReport{
+			ID:         i,
+			Processed:  w.processed.Load(),
+			Dropped:    e.perWDrop[i].Load(),
+			OutOfOrder: w.ooo.Load(),
+			Batches:    w.batches.Load(),
+		})
+	}
+	if e.sampler != nil {
+		res.Series = e.sampler.Series()
+	}
+	return res
+}
+
+// mergeWorkerEvents folds the per-worker recorders' events into the
+// main recorder in timestamp order. Emission re-stamping is suppressed
+// by detaching the clock for the merge.
+func (e *Engine) mergeWorkerEvents() {
+	if e.rec == nil {
+		return
+	}
+	var all []obs.Event
+	for _, w := range e.workers {
+		all = append(all, w.rec.Events()...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].T < all[j].T })
+	e.rec.SetClock(nil)
+	for _, ev := range all {
+		e.rec.Emit(ev)
+	}
+	e.rec.SetClock(e.Now)
+}
+
+// startSampler launches the wall-clock metrics goroutine. Probes read
+// only atomics, so sampling never races the dispatcher or workers.
+func (e *Engine) startSampler() {
+	probes := make([]obs.Probe, 0, 2*len(e.workers)+4)
+	for _, w := range e.workers {
+		w := w
+		probes = append(probes,
+			obs.Probe{Name: fmt.Sprintf("worker%d.q", w.id), Fn: func() float64 {
+				return float64(w.queueLen())
+			}},
+			obs.RateProbe(fmt.Sprintf("worker%d.pps", w.id), w.processed.Load, nil),
+		)
+	}
+	probes = append(probes,
+		obs.RateProbe("dispatched", e.dispatched.Load, nil),
+		obs.RateProbe("drops", e.dropped.Load, nil),
+		obs.RateProbe("ooo", func() uint64 {
+			var n uint64
+			for _, w := range e.workers {
+				n += w.ooo.Load()
+			}
+			return n
+		}, nil),
+		obs.RateProbe("fenced", e.fenced.Load, nil),
+	)
+	e.sampler = obs.NewSampler(sim.Time(e.cfg.MetricsInterval.Nanoseconds()), probes...)
+	e.samplerStop = make(chan struct{})
+	e.samplerDone = make(chan struct{})
+	go func() {
+		defer close(e.samplerDone)
+		tick := time.NewTicker(e.cfg.MetricsInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				e.sampler.Sample(e.Now())
+			case <-e.samplerStop:
+				return
+			}
+		}
+	}()
+}

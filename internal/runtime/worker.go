@@ -1,0 +1,158 @@
+package runtime
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"laps/internal/npsim"
+	"laps/internal/obs"
+	"laps/internal/packet"
+	"laps/internal/sim"
+)
+
+// WorkKind selects how a worker emulates per-packet processing cost.
+type WorkKind int
+
+const (
+	// WorkNone retires packets with no emulated cost: the run measures
+	// pure scheduling + ring overhead.
+	WorkNone WorkKind = iota
+	// WorkSpin busy-loops for the packet's modeled service time scaled
+	// by WorkFactor — CPU-bound processing, which scales with physical
+	// cores.
+	WorkSpin
+	// WorkSleep sleeps once per consumed batch for the batch's summed
+	// modeled service time scaled by WorkFactor — latency-bound
+	// processing (crypto offload, DMA waits), which scales with worker
+	// count even on few physical cores.
+	WorkSleep
+)
+
+// worker is one emulated core: a goroutine consuming an SPSC ring.
+//
+// All cross-goroutine fields are atomics: the dispatcher reads
+// processed/inflight/idleSince to answer scheduler View queries and to
+// resolve migration fences; the sampler goroutine reads the counters
+// for time-series probes.
+type worker struct {
+	id   int
+	ring *Ring
+
+	processed atomic.Uint64 // packets fully retired
+	inflight  atomic.Int64  // popped from the ring but not yet retired
+	ooo       atomic.Uint64 // out-of-order departures observed here
+	batches   atomic.Uint64 // non-empty PopBatch calls
+	idleSince atomic.Int64  // runtime-clock ns when the ring went empty; -1 = busy
+
+	tracker *sharedTracker
+	rec     *obs.Recorder // private per-worker recorder, merged at stop
+	now     func() sim.Time
+
+	work       WorkKind
+	workFactor float64
+	services   [packet.NumServices]npsim.ServiceDef
+	handler    func(worker int, p *packet.Packet)
+}
+
+// run is the worker goroutine body: drain batches until the ring is
+// closed and empty. Exits are graceful — the dispatcher closes the ring
+// after its last push, so no packet is stranded.
+func (w *worker) run(batch int) {
+	buf := make([]*packet.Packet, batch)
+	idleSpins := 0
+	for {
+		n := w.ring.PopBatch(buf)
+		if n == 0 {
+			if w.ring.Closed() && w.ring.Len() == 0 {
+				return
+			}
+			if w.idleSince.Load() < 0 {
+				w.idleSince.Store(int64(w.now()))
+			}
+			// Back off progressively: stay hot for a few rounds (packets
+			// arrive in bursts), then yield, then sleep so idle workers
+			// do not starve the dispatcher on small machines.
+			idleSpins++
+			switch {
+			case idleSpins < 16:
+				runtime.Gosched()
+			default:
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		idleSpins = 0
+		w.idleSince.Store(-1)
+		w.inflight.Store(int64(n))
+		w.batches.Add(1)
+		var modeled sim.Time
+		for i := 0; i < n; i++ {
+			p := buf[i]
+			buf[i] = nil
+			if w.work != WorkNone {
+				d := w.services[p.Service].ProcTime(p.Size)
+				if w.work == WorkSpin {
+					w.spin(time.Duration(float64(d) * w.workFactor))
+				} else {
+					modeled += d
+				}
+			}
+			if w.handler != nil {
+				w.handler(w.id, p)
+			}
+			if w.tracker.record(p) {
+				w.ooo.Add(1)
+				if w.rec != nil {
+					w.rec.Emit(obs.Event{Kind: obs.EvOOODepart, Service: int16(p.Service),
+						Core: int32(w.id), Core2: -1, Flow: p.Flow, Val: int64(p.FlowSeq)})
+				}
+			}
+			w.inflight.Add(-1)
+			w.processed.Add(1)
+		}
+		if w.work == WorkSleep && modeled > 0 {
+			time.Sleep(time.Duration(float64(modeled) * w.workFactor))
+		}
+		w.inflight.Store(0)
+	}
+}
+
+// spin busy-waits for roughly d without yielding the processor, the
+// closest a goroutine gets to an IOP core crunching a packet.
+func (w *worker) spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// queueLen is the worker's occupancy as the scheduler should see it:
+// ring backlog plus packets popped but not yet retired (the "in
+// service" slot npsim counts the same way).
+func (w *worker) queueLen() int {
+	n := w.ring.Len() + int(w.inflight.Load())
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// idleFor reports how long the worker has been out of work at runtime
+// clock instant now, zero if it is (or should be) busy.
+func (w *worker) idleFor(now sim.Time) sim.Time {
+	if w.queueLen() > 0 {
+		return 0
+	}
+	since := w.idleSince.Load()
+	if since < 0 {
+		return 0
+	}
+	d := now - sim.Time(since)
+	if d < 0 {
+		return 0
+	}
+	return d
+}

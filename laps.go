@@ -309,12 +309,80 @@ type RestoredOrder struct {
 	Buffer ReorderStats
 }
 
+// trafficProfile validates a per-service traffic list and returns the
+// number of service-ID slots in use plus the set of active services.
+func trafficProfile(tr []ServiceTraffic) (services int, active map[ServiceID]bool, err error) {
+	if len(tr) == 0 {
+		return 0, nil, fmt.Errorf("laps: need at least one Traffic entry")
+	}
+	active = map[ServiceID]bool{}
+	for _, t := range tr {
+		if int(t.Service) >= services {
+			services = int(t.Service) + 1
+		}
+		if t.Trace == nil {
+			return 0, nil, fmt.Errorf("laps: service %v has no trace source", t.Service)
+		}
+		active[t.Service] = true
+	}
+	if services > packet.NumServices {
+		return 0, nil, fmt.Errorf("laps: service IDs must be < %d", packet.NumServices)
+	}
+	return services, active, nil
+}
+
+// buildScheduler constructs the configured scheduler over the active
+// services. Both execution engines — Simulate and Run — build their
+// scheduler here, so a live run and a simulation with the same knobs and
+// seed get byte-identical scheduler state. sharedQueue is true for
+// FCFS, which has no per-core scheduler at all (the simulator models it
+// with a single shared queue; the live runtime cannot).
+func buildScheduler(kind SchedulerKind, custom CoreScheduler, cores int, consolidate bool, seed uint64, services int, active map[ServiceID]bool) (scheduler npsim.Scheduler, sharedQueue bool, err error) {
+	switch {
+	case custom != nil:
+		return custom, false, nil
+	case kind == LAPS:
+		// Build LAPS over the *active* services only, remapping sparse
+		// service IDs onto a compact range, so traffic-less services do
+		// not hold cores.
+		activeN := len(active)
+		if cores < activeN {
+			return nil, false, fmt.Errorf("laps: %d cores cannot host %d services", cores, activeN)
+		}
+		var remap [packet.NumServices]ServiceID
+		next := ServiceID(0)
+		for svc := 0; svc < services; svc++ {
+			if active[ServiceID(svc)] {
+				remap[svc] = next
+				next++
+			}
+		}
+		l := core.New(core.Config{
+			TotalCores:  cores,
+			Services:    activeN,
+			Consolidate: consolidate,
+			AFD:         afd.Config{Seed: seed},
+		})
+		if activeN == services {
+			return l, false, nil
+		}
+		return &remapScheduler{inner: l, remap: remap}, false, nil
+	case kind == FCFS:
+		return nil, true, nil
+	case kind == AFS:
+		return newAFS(), false, nil
+	case kind == HashOnly:
+		return newHashOnly(), false, nil
+	case kind == Oracle:
+		return newOracle(16), false, nil
+	default:
+		return nil, false, fmt.Errorf("laps: unknown scheduler %q", kind)
+	}
+}
+
 // Simulate builds the full stack — traffic generator, scheduler,
 // processor model — runs it to completion and returns the metrics.
 func Simulate(cfg SimConfig) (*Result, error) {
-	if len(cfg.Traffic) == 0 {
-		return nil, fmt.Errorf("laps: SimConfig needs at least one Traffic entry")
-	}
 	if cfg.Cores == 0 {
 		cfg.Cores = 16
 	}
@@ -334,63 +402,16 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		sysCfg.QueueCap = cfg.QueueCap
 	}
 
-	services := 0
-	active := map[ServiceID]bool{}
-	for _, tr := range cfg.Traffic {
-		if int(tr.Service) >= services {
-			services = int(tr.Service) + 1
-		}
-		if tr.Trace == nil {
-			return nil, fmt.Errorf("laps: service %v has no trace source", tr.Service)
-		}
-		active[tr.Service] = true
+	services, active, err := trafficProfile(cfg.Traffic)
+	if err != nil {
+		return nil, err
 	}
-	if services > packet.NumServices {
-		return nil, fmt.Errorf("laps: service IDs must be < %d", packet.NumServices)
+	scheduler, sharedQueue, err := buildScheduler(cfg.Scheduler, cfg.Custom,
+		cfg.Cores, cfg.Consolidate, cfg.Seed, services, active)
+	if err != nil {
+		return nil, err
 	}
-
-	var scheduler npsim.Scheduler
-	switch {
-	case cfg.Custom != nil:
-		scheduler = cfg.Custom
-	case cfg.Scheduler == LAPS:
-		// Build LAPS over the *active* services only, remapping sparse
-		// service IDs onto a compact range, so traffic-less services do
-		// not hold cores.
-		activeN := len(active)
-		if cfg.Cores < activeN {
-			return nil, fmt.Errorf("laps: %d cores cannot host %d services", cfg.Cores, activeN)
-		}
-		var remap [packet.NumServices]ServiceID
-		next := ServiceID(0)
-		for svc := 0; svc < services; svc++ {
-			if active[ServiceID(svc)] {
-				remap[svc] = next
-				next++
-			}
-		}
-		l := core.New(core.Config{
-			TotalCores:  cfg.Cores,
-			Services:    activeN,
-			Consolidate: cfg.Consolidate,
-			AFD:         afd.Config{Seed: cfg.Seed},
-		})
-		if activeN == services {
-			scheduler = l
-		} else {
-			scheduler = &remapScheduler{inner: l, remap: remap}
-		}
-	case cfg.Scheduler == FCFS:
-		sysCfg.SharedQueue = true
-	case cfg.Scheduler == AFS:
-		scheduler = newAFS()
-	case cfg.Scheduler == HashOnly:
-		scheduler = newHashOnly()
-	case cfg.Scheduler == Oracle:
-		scheduler = newOracle(16)
-	default:
-		return nil, fmt.Errorf("laps: unknown scheduler %q", cfg.Scheduler)
-	}
+	sysCfg.SharedQueue = sharedQueue
 
 	eng := sim.NewEngine()
 	sys := npsim.New(eng, sysCfg, scheduler)
@@ -458,11 +479,7 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	} else {
 		res.Scheduler = "fcfs"
 	}
-	if rm, ok := scheduler.(*remapScheduler); ok {
-		res.Scheduler = rm.inner.Name()
-		scheduler = rm.inner
-	}
-	if l, ok := scheduler.(*core.LAPS); ok {
+	if l := lapsOf(scheduler); l != nil {
 		st := l.Stats()
 		res.LapsStats = &st
 	}
@@ -477,14 +494,20 @@ type remapScheduler struct {
 	remap [packet.NumServices]ServiceID
 }
 
-// lapsOf unwraps a scheduler (possibly remap-wrapped) to its LAPS core,
-// or nil if the scheduler is not LAPS.
+// lapsOf unwraps a scheduler (possibly remap- or mirror-wrapped) to its
+// LAPS core, or nil if the scheduler is not LAPS.
 func lapsOf(s npsim.Scheduler) *core.LAPS {
-	if rm, ok := s.(*remapScheduler); ok {
-		s = rm.inner
+	for {
+		switch w := s.(type) {
+		case *remapScheduler:
+			s = w.inner
+		case *mirrorScheduler:
+			s = w.inner
+		default:
+			l, _ := s.(*core.LAPS)
+			return l
+		}
 	}
-	l, _ := s.(*core.LAPS)
-	return l
 }
 
 // Name identifies the wrapped scheduler.

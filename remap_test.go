@@ -1,0 +1,94 @@
+package laps
+
+import (
+	"testing"
+
+	"laps/internal/afd"
+	"laps/internal/core"
+	"laps/internal/npsim"
+	"laps/internal/obs"
+	"laps/internal/packet"
+)
+
+// fakeSched records what the remap wrapper hands it.
+type fakeSched struct {
+	rec  *obs.Recorder
+	last packet.Packet
+	n    int
+}
+
+func (f *fakeSched) Name() string                { return "fake" }
+func (f *fakeSched) SetRecorder(r *obs.Recorder) { f.rec = r }
+func (f *fakeSched) Target(p *packet.Packet, _ npsim.View) int {
+	f.last = *p
+	f.n++
+	return int(p.Service)
+}
+
+func TestRemapSchedulerPassthrough(t *testing.T) {
+	inner := &fakeSched{}
+	rm := &remapScheduler{inner: inner}
+	if rm.Name() != "fake" {
+		t.Fatalf("Name() = %q, want the wrapped scheduler's name", rm.Name())
+	}
+	rec := obs.NewRecorder(16)
+	rm.SetRecorder(rec)
+	if inner.rec != rec {
+		t.Fatal("SetRecorder did not reach the wrapped scheduler")
+	}
+}
+
+func TestRemapSchedulerRemapsServiceOnACopy(t *testing.T) {
+	inner := &fakeSched{}
+	// Services 2 and 3 are active; they compact onto 0 and 1.
+	var remap [packet.NumServices]ServiceID
+	remap[2], remap[3] = 0, 1
+	rm := &remapScheduler{inner: inner, remap: remap}
+
+	p := &packet.Packet{ID: 7, Service: 3, Size: 1200}
+	if got := rm.Target(p, nil); got != 1 {
+		t.Fatalf("Target = %d, want remapped service 1", got)
+	}
+	if inner.last.Service != 1 {
+		t.Fatalf("wrapped scheduler saw service %d, want 1", inner.last.Service)
+	}
+	if inner.last.ID != 7 || inner.last.Size != 1200 {
+		t.Fatalf("wrapped scheduler saw a mangled packet: %+v", inner.last)
+	}
+	if p.Service != 3 {
+		t.Fatalf("original packet mutated: service became %d", p.Service)
+	}
+	if inner.n != 1 {
+		t.Fatalf("wrapped scheduler called %d times, want 1", inner.n)
+	}
+}
+
+func TestRemapSchedulerIgnoresNonSetterInner(t *testing.T) {
+	// An inner scheduler without SetRecorder must not panic the wrapper.
+	rm := &remapScheduler{inner: bareSched{}}
+	rm.SetRecorder(obs.NewRecorder(1)) // no-op, but must be safe
+}
+
+type bareSched struct{}
+
+func (bareSched) Name() string                          { return "bare" }
+func (bareSched) Target(*packet.Packet, npsim.View) int { return 0 }
+
+func TestLapsOfUnwrapsAllWrappers(t *testing.T) {
+	l := core.New(core.Config{TotalCores: 4, Services: 1, AFD: afd.Config{Seed: 1}})
+	if lapsOf(l) != l {
+		t.Fatal("lapsOf(LAPS) != LAPS")
+	}
+	if got := lapsOf(&remapScheduler{inner: l}); got != l {
+		t.Fatal("lapsOf did not unwrap remapScheduler")
+	}
+	if got := lapsOf(&mirrorScheduler{inner: &remapScheduler{inner: l}}); got != l {
+		t.Fatal("lapsOf did not unwrap mirror-over-remap")
+	}
+	if lapsOf(bareSched{}) != nil {
+		t.Fatal("lapsOf invented a LAPS from a non-LAPS scheduler")
+	}
+	if lapsOf(nil) != nil {
+		t.Fatal("lapsOf(nil) != nil")
+	}
+}

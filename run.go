@@ -1,0 +1,356 @@
+package laps
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"laps/internal/npsim"
+	"laps/internal/obs"
+	"laps/internal/packet"
+	rt "laps/internal/runtime"
+	"laps/internal/sim"
+	"laps/internal/traffic"
+)
+
+// Live-runtime re-exports. The internal/runtime package executes a
+// scheduler on real goroutine "cores"; these aliases give users the
+// same single import path the simulator types have.
+type (
+	// WorkKind selects how live workers emulate per-packet processing
+	// cost: WorkNone retires packets immediately, WorkSpin busy-loops
+	// for the modeled service time (CPU-bound, scales with physical
+	// cores), WorkSleep sleeps for it (latency-bound, scales with
+	// worker count).
+	WorkKind = rt.WorkKind
+	// RunStats are the live engine's end-of-run counters.
+	RunStats = rt.Result
+	// WorkerReport is one live worker's accounting.
+	WorkerReport = rt.WorkerReport
+)
+
+// Work emulation modes for RunConfig.Work.
+const (
+	WorkNone  = rt.WorkNone
+	WorkSpin  = rt.WorkSpin
+	WorkSleep = rt.WorkSleep
+)
+
+// RunConfig describes a live execution for Run: the same scheduler and
+// traffic vocabulary as SimConfig, executed on worker goroutines with
+// SPSC rings instead of the simulator's virtual cores.
+type RunConfig struct {
+	// Workers is the number of worker goroutines ("cores"); 0 means 4.
+	// Ignored in shadow mode, where Shadow.Cores decides.
+	Workers int
+	// RingCap is each worker's SPSC ring capacity (rounded up to a power
+	// of two); 0 means 256.
+	RingCap int
+	// Batch is the dispatch/consume batch size; 0 means 32.
+	Batch int
+
+	// Scheduler picks a built-in scheduler; ignored when Custom is set.
+	// Empty means LAPS. FCFS is simulator-only (it needs the shared
+	// queue) and returns an error here.
+	Scheduler SchedulerKind
+	// Custom plugs in any CoreScheduler implementation. It is called
+	// only from the dispatcher goroutine.
+	Custom CoreScheduler
+	// Consolidate enables LAPS's power-aware core parking.
+	Consolidate bool
+
+	// Traffic lists the offered load per service (at least one entry).
+	// The arrival process is the simulator's: a virtual-time event
+	// engine replays the Holt-Winters rate model over these sources, so
+	// a live run and a simulation with the same Traffic and Seed see the
+	// exact same packet sequence.
+	Traffic []ServiceTraffic
+	// Duration is the traffic window in virtual time; 0 means 50 ms.
+	Duration Time
+	// TimeCompression maps virtual seconds to rate-model seconds.
+	TimeCompression float64
+	// RateScale multiplies all rates (scaled-down experiments).
+	RateScale float64
+	// CBRArrivals uses paced (±50% jitter) instead of Poisson arrivals.
+	CBRArrivals bool
+	// Pace is the playback speed of the virtual arrival clock against
+	// the wall clock: 1 replays in real time, 2 at double speed, 0.5 at
+	// half. 0 (the default) dispatches as fast as possible.
+	Pace float64
+
+	// Block applies backpressure (stall the dispatcher) instead of
+	// dropping when a worker's ring is full.
+	Block bool
+	// DisableFencing turns off ordering-safe migration, exposing the
+	// reordering the fence exists to prevent (ablation).
+	DisableFencing bool
+
+	// Work emulates per-packet processing cost (default WorkNone).
+	Work WorkKind
+	// WorkFactor scales the modeled service time into real time; 0
+	// means 1.
+	WorkFactor float64
+	// Handler, when set, runs on the owning worker for every packet.
+	Handler func(worker int, p *Packet)
+
+	// Trace, when non-nil, receives control-plane telemetry — the
+	// scheduler's events plus the engine's drops and out-of-order
+	// departures — stamped with the runtime clock (ns since start).
+	Trace *Recorder
+	// MetricsInterval, when positive, samples per-worker queue depths
+	// and rates on the wall clock into RunStats.Series.
+	MetricsInterval time.Duration
+	// ReorderCap bounds the egress reorder tracker's per-flow state;
+	// 0 keeps exact tracking.
+	ReorderCap int
+
+	// Seed drives arrival randomness and the scheduler's AFD; 0 means 1.
+	Seed uint64
+	// Context, when non-nil, allows clean shutdown: cancellation stops
+	// dispatching and unblocks backpressured enqueues.
+	Context context.Context
+
+	// Shadow switches Run into conformance mode: instead of live
+	// dispatch, the given simulation runs to completion and every
+	// scheduling decision it makes is mirrored onto the live engine.
+	// The scheduler sees only the simulator's state, so its decision
+	// sequence (migrations, map splits, AFC promotions, ...) is
+	// identical to Simulate(*Shadow) by construction — that is the
+	// property the conformance tests pin. Workers, Traffic, Duration,
+	// Scheduler and Seed are taken from the Shadow config; the mirror
+	// always applies backpressure so no mirrored packet is lost.
+	Shadow *SimConfig
+}
+
+// RunResult is the outcome of Run.
+type RunResult struct {
+	// Live are the runtime engine's counters.
+	Live RunStats
+	// Generated is the number of packets the arrival process offered.
+	Generated uint64
+	// Scheduler names the scheduler that ran.
+	Scheduler string
+	// LapsStats is non-nil when the LAPS scheduler ran.
+	LapsStats *SchedulerStats
+	// Sim is non-nil in shadow mode: the embedded simulation's result.
+	Sim *Result
+}
+
+// Run executes a scheduler on real goroutine cores. Where Simulate
+// models queueing and service time in virtual time, Run dispatches
+// packets into per-worker SPSC rings and real goroutines retire them;
+// ordering-safe migration (fencing), backpressure and drop accounting
+// happen on the live data path. See docs/RUNTIME.md.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Shadow != nil {
+		return runShadow(cfg)
+	}
+	return runLive(cfg)
+}
+
+// newLiveEngine builds the runtime engine shared by both Run modes.
+func newLiveEngine(cfg RunConfig, workers int, scheduler npsim.Scheduler, policy rt.Policy) (*rt.Engine, error) {
+	return rt.New(rt.Config{
+		Workers:         workers,
+		RingCap:         cfg.RingCap,
+		Batch:           cfg.Batch,
+		Sched:           scheduler,
+		Policy:          policy,
+		DisableFencing:  cfg.DisableFencing,
+		Work:            cfg.Work,
+		WorkFactor:      cfg.WorkFactor,
+		Handler:         cfg.Handler,
+		Recorder:        cfg.Trace,
+		MetricsInterval: cfg.MetricsInterval,
+		ReorderCap:      cfg.ReorderCap,
+	})
+}
+
+// runLive is the normal mode: the virtual-clock arrival process feeds
+// the live dispatcher directly, and the scheduler consults the live
+// engine's state (real ring occupancy, real idle times).
+func runLive(cfg RunConfig) (*RunResult, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 50 * Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = LAPS
+	}
+	services, active, err := trafficProfile(cfg.Traffic)
+	if err != nil {
+		return nil, err
+	}
+	scheduler, sharedQueue, err := buildScheduler(cfg.Scheduler, cfg.Custom,
+		cfg.Workers, cfg.Consolidate, cfg.Seed, services, active)
+	if err != nil {
+		return nil, err
+	}
+	if sharedQueue {
+		return nil, fmt.Errorf("laps: %s needs the simulator's shared queue; live workers each own a ring", FCFS)
+	}
+	if cfg.Trace != nil {
+		if rs, ok := scheduler.(npsim.RecorderSetter); ok {
+			rs.SetRecorder(cfg.Trace)
+		}
+	}
+	policy := rt.DropWhenFull
+	if cfg.Block {
+		policy = rt.BlockWhenFull
+	}
+	live, err := newLiveEngine(cfg, cfg.Workers, scheduler, policy)
+	if err != nil {
+		return nil, err
+	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// The sim engine here is purely an arrival sequencer: it runs the
+	// Holt-Winters process in virtual time and hands each packet (with
+	// its per-flow sequence number) to the live dispatcher.
+	eng := sim.NewEngine()
+	var sources []traffic.ServiceSource
+	for _, tr := range cfg.Traffic {
+		sources = append(sources, traffic.ServiceSource{
+			Service: tr.Service, Params: tr.Params, Trace: tr.Trace,
+		})
+	}
+	arrivals := traffic.Poisson
+	if cfg.CBRArrivals {
+		arrivals = traffic.CBR
+	}
+	live.Start(ctx)
+	wallStart := time.Now()
+	sink := func(p *packet.Packet) {
+		if ctx.Err() != nil {
+			return // cancelled: drain the arrival process without dispatching
+		}
+		if cfg.Pace > 0 {
+			// Hold this arrival until the wall clock catches up with its
+			// virtual timestamp at the requested playback speed.
+			target := time.Duration(float64(p.Arrival) / cfg.Pace)
+			if wait := target - time.Since(wallStart); wait > 0 {
+				live.Flush() // publish partial batches before idling
+				time.Sleep(wait)
+			}
+		}
+		live.Dispatch(p)
+	}
+	gen := traffic.NewGenerator(eng, traffic.Config{
+		Sources:         sources,
+		Duration:        cfg.Duration,
+		TimeCompression: cfg.TimeCompression,
+		RateScale:       cfg.RateScale,
+		Arrivals:        arrivals,
+		Seed:            cfg.Seed,
+	}, sink)
+	gen.Start()
+	eng.Run()
+	stats := live.Stop()
+
+	res := &RunResult{
+		Live:      *stats,
+		Generated: gen.Generated(),
+		Scheduler: scheduler.Name(),
+	}
+	if l := lapsOf(scheduler); l != nil {
+		st := l.Stats()
+		res.LapsStats = &st
+	}
+	return res, nil
+}
+
+// runShadow is conformance mode: the full simulation stack runs
+// unchanged, and a capture wrapper mirrors every (packet, target)
+// decision onto the live engine as it is made.
+func runShadow(cfg RunConfig) (*RunResult, error) {
+	simCfg := *cfg.Shadow
+	if simCfg.Cores == 0 {
+		simCfg.Cores = 16
+	}
+	if simCfg.Seed == 0 {
+		simCfg.Seed = 1
+	}
+	if simCfg.Scheduler == "" {
+		simCfg.Scheduler = LAPS
+	}
+	if cfg.Workers != 0 && cfg.Workers != simCfg.Cores {
+		return nil, fmt.Errorf("laps: shadow mode needs Workers == Shadow.Cores (%d), got %d",
+			simCfg.Cores, cfg.Workers)
+	}
+	services, active, err := trafficProfile(simCfg.Traffic)
+	if err != nil {
+		return nil, err
+	}
+	scheduler, sharedQueue, err := buildScheduler(simCfg.Scheduler, simCfg.Custom,
+		simCfg.Cores, simCfg.Consolidate, simCfg.Seed, services, active)
+	if err != nil {
+		return nil, err
+	}
+	if sharedQueue {
+		return nil, fmt.Errorf("laps: %s has no per-packet decisions to mirror", FCFS)
+	}
+	live, err := newLiveEngine(cfg, simCfg.Cores, scheduler, rt.BlockWhenFull)
+	if err != nil {
+		return nil, err
+	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	live.Start(ctx)
+	simCfg.Custom = &mirrorScheduler{inner: scheduler, live: live}
+	simRes, err := Simulate(simCfg)
+	if err != nil {
+		live.Stop()
+		return nil, err
+	}
+	stats := live.Stop()
+
+	res := &RunResult{
+		Live:      *stats,
+		Generated: simRes.Generated,
+		Scheduler: scheduler.Name(),
+		Sim:       simRes,
+	}
+	if l := lapsOf(scheduler); l != nil {
+		st := l.Stats()
+		res.LapsStats = &st
+	}
+	return res, nil
+}
+
+// mirrorScheduler forwards decisions to the wrapped scheduler and
+// replays each one onto the live engine with a copy of the packet. The
+// wrapped scheduler's inputs — the packet and the *simulator's* view —
+// are untouched, so its decision sequence is exactly what a plain
+// Simulate would produce.
+type mirrorScheduler struct {
+	inner npsim.Scheduler
+	live  *rt.Engine
+}
+
+// Name identifies the wrapped scheduler.
+func (m *mirrorScheduler) Name() string { return m.inner.Name() }
+
+// SetRecorder forwards telemetry wiring to the wrapped scheduler.
+func (m *mirrorScheduler) SetRecorder(rec *obs.Recorder) {
+	if rs, ok := m.inner.(npsim.RecorderSetter); ok {
+		rs.SetRecorder(rec)
+	}
+}
+
+// Target decides via the wrapped scheduler, then mirrors the decision.
+func (m *mirrorScheduler) Target(p *packet.Packet, v npsim.View) int {
+	t := m.inner.Target(p, v)
+	q := *p
+	m.live.DispatchTo(&q, t)
+	return t
+}

@@ -1,0 +1,241 @@
+package laps_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"laps"
+)
+
+// liveTraffic is a two-service load that keeps LAPS busy enough to
+// migrate, split maps and promote AFC entries within a few virtual ms.
+func liveTraffic(seed uint64) []laps.ServiceTraffic {
+	return []laps.ServiceTraffic{
+		trafficFor(laps.SvcIPForward, 3, seed),
+		trafficFor(laps.SvcVPNOut, 1.5, seed+101),
+	}
+}
+
+func TestRunLiveSmoke(t *testing.T) {
+	res, err := laps.Run(laps.RunConfig{
+		Workers:  4,
+		Duration: 2 * laps.Millisecond,
+		Seed:     3,
+		Block:    true,
+		Traffic:  liveTraffic(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated == 0 {
+		t.Fatal("no traffic generated")
+	}
+	if res.Live.Dispatched != res.Generated {
+		t.Fatalf("dispatched %d != generated %d", res.Live.Dispatched, res.Generated)
+	}
+	if res.Live.Processed != res.Live.Dispatched {
+		t.Fatalf("block policy lost packets: processed %d of %d",
+			res.Live.Processed, res.Live.Dispatched)
+	}
+	if res.Live.OutOfOrder != 0 {
+		t.Fatalf("fencing let %d packets reorder", res.Live.OutOfOrder)
+	}
+	if res.Scheduler != "laps" || res.LapsStats == nil {
+		t.Fatalf("expected LAPS run with stats, got %q (%v)", res.Scheduler, res.LapsStats)
+	}
+}
+
+func TestRunLiveTelemetry(t *testing.T) {
+	rec := laps.NewRecorder(0)
+	res, err := laps.Run(laps.RunConfig{
+		Workers:         4,
+		Duration:        2 * laps.Millisecond,
+		Seed:            5,
+		Block:           true,
+		Traffic:         liveTraffic(5),
+		Trace:           rec,
+		MetricsInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Total() == 0 {
+		t.Fatal("live LAPS run emitted no control-plane events")
+	}
+	if res.Live.Series == nil {
+		t.Fatal("metrics interval set but no series")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := laps.Run(laps.RunConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := laps.Run(laps.RunConfig{
+		Scheduler: laps.FCFS, Traffic: liveTraffic(1),
+	}); err == nil {
+		t.Fatal("FCFS accepted in live mode")
+	}
+	bad := laps.SimConfig{Cores: 8, Traffic: liveTraffic(1)}
+	if _, err := laps.Run(laps.RunConfig{Workers: 4, Shadow: &bad}); err == nil {
+		t.Fatal("shadow mode accepted Workers != Shadow.Cores")
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: nothing must be dispatched, nothing hangs
+	res, err := laps.Run(laps.RunConfig{
+		Workers:  2,
+		Duration: 2 * laps.Millisecond,
+		Traffic:  liveTraffic(7),
+		Context:  ctx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live.Dispatched != 0 {
+		t.Fatalf("cancelled run dispatched %d packets", res.Live.Dispatched)
+	}
+}
+
+func TestRunPacedReplayTakesWallTime(t *testing.T) {
+	start := time.Now()
+	res, err := laps.Run(laps.RunConfig{
+		Workers:  2,
+		Duration: 4 * laps.Millisecond,
+		Seed:     9,
+		Pace:     1, // real time: 4 ms of virtual arrivals ≈ 4 ms of wall clock
+		Block:    true,
+		Traffic:  []laps.ServiceTraffic{trafficFor(laps.SvcIPForward, 1, 9)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("paced 4 ms replay finished in %v", elapsed)
+	}
+	if res.Live.Processed == 0 {
+		t.Fatal("nothing processed")
+	}
+}
+
+// controlPlane filters a recorder down to the scheduler's decision
+// events — the sequence the conformance check compares.
+func controlPlane(rec *laps.Recorder) []laps.Event {
+	var out []laps.Event
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case laps.EvFlowMigration, laps.EvMapSplit, laps.EvMapMerge,
+			laps.EvCoreSteal, laps.EvCorePark, laps.EvCoreReturn,
+			laps.EvSurplusMark, laps.EvSurplusUnmark,
+			laps.EvAFCPromote, laps.EvAFCDemote, laps.EvAFCInvalidate:
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestRunShadowConformance replays the same synthetic trace through the
+// simulator alone and through the live runtime in shadow mode, and
+// asserts the scheduler-level decisions — every migration, map split
+// and AFC promotion, in order, with identical timestamps and operands —
+// match exactly. It also pins the live ordering invariant: with fencing
+// on, mirroring the decision storm onto real goroutines reorders
+// nothing.
+func TestRunShadowConformance(t *testing.T) {
+	mkCfg := func(rec *laps.Recorder) laps.SimConfig {
+		return laps.SimConfig{
+			Cores:    8,
+			Duration: 4 * laps.Millisecond,
+			Seed:     42,
+			Traffic:  liveTraffic(42),
+			Trace:    rec,
+		}
+	}
+
+	recSim := laps.NewRecorder(0)
+	simRes, err := laps.Simulate(mkCfg(recSim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recShadow := laps.NewRecorder(0)
+	shadowCfg := mkCfg(recShadow)
+	runRes, err := laps.Run(laps.RunConfig{Shadow: &shadowCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The scheduler's aggregate decision counters must agree.
+	if simRes.LapsStats == nil || runRes.LapsStats == nil {
+		t.Fatal("missing LAPS stats")
+	}
+	if !reflect.DeepEqual(*simRes.LapsStats, *runRes.LapsStats) {
+		t.Fatalf("scheduler stats diverged:\n sim: %+v\nlive: %+v",
+			*simRes.LapsStats, *runRes.LapsStats)
+	}
+
+	// The event-by-event decision sequences must be identical:
+	// migrations, splits/merges, steals, AFC activity — same order,
+	// same virtual timestamps, same flows and cores.
+	evSim, evShadow := controlPlane(recSim), controlPlane(recShadow)
+	if len(evSim) == 0 {
+		t.Fatal("conformance run produced no control-plane events; widen the workload")
+	}
+	if len(evSim) != len(evShadow) {
+		t.Fatalf("event counts diverged: sim %d, shadow %d", len(evSim), len(evShadow))
+	}
+	for i := range evSim {
+		if evSim[i] != evShadow[i] {
+			t.Fatalf("decision %d diverged:\n sim: %+v\nlive: %+v", i, evSim[i], evShadow[i])
+		}
+	}
+	if c := recSim.Count(laps.EvFlowMigration); c == 0 {
+		t.Fatal("no migrations in conformance run; the check is vacuous")
+	}
+
+	// Every scheduler decision was mirrored onto the live engine, and
+	// fencing kept the live data path order-safe through all of them.
+	if runRes.Live.Dispatched != simRes.Metrics.Injected {
+		t.Fatalf("live saw %d packets, sim injected %d",
+			runRes.Live.Dispatched, simRes.Metrics.Injected)
+	}
+	if runRes.Live.Processed != runRes.Live.Dispatched {
+		t.Fatalf("shadow mirror lost packets: %d of %d",
+			runRes.Live.Processed, runRes.Live.Dispatched)
+	}
+	if runRes.Live.OutOfOrder != 0 {
+		t.Fatalf("live engine reordered %d packets under fencing", runRes.Live.OutOfOrder)
+	}
+	if runRes.Sim == nil || runRes.Sim.Metrics.Injected != simRes.Metrics.Injected {
+		t.Fatal("shadow result did not carry the embedded simulation")
+	}
+}
+
+// TestRunShadowDeterministic: two shadow runs of the same config agree
+// with each other (the live side is scheduling-noise-free at the
+// decision level even though goroutine interleavings differ).
+func TestRunShadowDeterministic(t *testing.T) {
+	run := func() *laps.RunResult {
+		cfg := laps.SimConfig{
+			Cores:    8,
+			Duration: 2 * laps.Millisecond,
+			Seed:     17,
+			Traffic:  liveTraffic(17),
+		}
+		res, err := laps.Run(laps.RunConfig{Shadow: &cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(*a.LapsStats, *b.LapsStats) {
+		t.Fatalf("shadow runs diverged:\n a: %+v\n b: %+v", *a.LapsStats, *b.LapsStats)
+	}
+	if a.Live.Dispatched != b.Live.Dispatched {
+		t.Fatalf("dispatch counts diverged: %d vs %d", a.Live.Dispatched, b.Live.Dispatched)
+	}
+}
