@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -76,6 +77,8 @@ var (
 	livePace    = flag.Float64("live-pace", 0, "live mode: playback speed vs the virtual clock (1 = real time, 0 = flat out)")
 	liveWork    = flag.String("live-work", "none", "live mode: per-packet work emulation (none|spin|sleep)")
 	liveBlock   = flag.Bool("live-block", false, "live mode: apply backpressure instead of dropping on full rings")
+	liveFaults  = flag.String("live-faults", "", "live mode: inject worker faults; comma-separated kind:worker@after[:duration] entries (stall:1@2000:500ms, slow:2@100:1s, kill:3@1500) or rand:SEED for a generated plan")
+	liveDetect  = flag.Duration("live-detect", 100*time.Millisecond, "live mode: health-monitor detection window for stalled/dead workers (0 disables the monitor)")
 	pcapPath    = flag.String("pcap", "", "live mode: replay this pcap capture (looped) instead of the scenario traces")
 )
 
@@ -97,6 +100,8 @@ var (
 		"live-pace":        {"live"},
 		"live-work":        {"live"},
 		"live-block":       {"live"},
+		"live-faults":      {"live"},
+		"live-detect":      {"live"},
 		"pcap":             {"live"},
 	}
 )
@@ -239,6 +244,14 @@ func runLive(opts exp.Options) error {
 		Block:           *liveBlock,
 		Work:            work,
 		Seed:            *seed,
+		DetectWindow:    *liveDetect,
+	}
+	if *liveFaults != "" {
+		plan, err := parseFaultPlan(*liveFaults, *liveWorkers)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
 	}
 	if *pcapPath != "" {
 		f, err := os.Open(*pcapPath)
@@ -291,9 +304,18 @@ func runLive(opts exp.Options) error {
 	fmt.Printf("  migrations=%d fenced=%d out-of-order=%d throughput=%.0f pps\n",
 		l.Migrations, l.Fenced, l.OutOfOrder,
 		float64(l.Processed)/l.Elapsed.Seconds())
+	if cfg.Faults != nil || l.WorkerDeaths > 0 {
+		fmt.Printf("  faults: stalls=%d deaths=%d reinjected=%d recovered-flows=%d forced=%d stranded=%d max-detect=%v\n",
+			l.WorkerStalls, l.WorkerDeaths, l.Reinjected, l.Recovered,
+			l.Forced, l.Stranded, l.MaxDetect.Round(time.Millisecond))
+	}
 	for _, w := range l.Workers {
-		fmt.Printf("  worker %d: processed=%d dropped=%d batches=%d\n",
-			w.ID, w.Processed, w.Dropped, w.Batches)
+		status := ""
+		if w.Dead {
+			status = " [dead]"
+		}
+		fmt.Printf("  worker %d: processed=%d dropped=%d batches=%d%s\n",
+			w.ID, w.Processed, w.Dropped, w.Batches, status)
 	}
 	if res.LapsStats != nil {
 		s := res.LapsStats
@@ -301,6 +323,72 @@ func runLive(opts exp.Options) error {
 			s.Migrations, s.CoreRequests, s.CoreGrants, s.SurplusMarks)
 	}
 	return nil
+}
+
+// parseFaultPlan parses the -live-faults spec: comma-separated entries
+// of the form kind:worker@after[:duration] — e.g. "stall:1@2000:500ms",
+// "kill:3@1500", "slow:2@100:1s" — or "rand:SEED" to splice in a
+// generated plan (two stalls plus one kill; worker 0 always survives).
+func parseFaultPlan(spec string, workers int) (*laps.FaultPlan, error) {
+	plan := &laps.FaultPlan{}
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		parts := strings.SplitN(ent, ":", 3)
+		if parts[0] == "rand" {
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("-live-faults: want rand:SEED, got %q", ent)
+			}
+			rseed, err := strconv.ParseUint(parts[1], 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-live-faults: bad seed in %q: %v", ent, err)
+			}
+			p := laps.RandomFaultPlan(rseed, workers, 2, 1, 5000, 500*time.Millisecond)
+			plan.Faults = append(plan.Faults, p.Faults...)
+			continue
+		}
+		var kind laps.FaultKind
+		switch parts[0] {
+		case "stall":
+			kind = laps.FaultStall
+		case "slow":
+			kind = laps.FaultSlow
+		case "kill":
+			kind = laps.FaultKill
+		default:
+			return nil, fmt.Errorf("-live-faults: unknown kind %q in %q (want stall, slow, kill or rand)", parts[0], ent)
+		}
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("-live-faults: %q: want kind:worker@after[:duration]", ent)
+		}
+		wa := strings.SplitN(parts[1], "@", 2)
+		if len(wa) != 2 {
+			return nil, fmt.Errorf("-live-faults: %q: want kind:worker@after[:duration]", ent)
+		}
+		w, err := strconv.Atoi(wa[0])
+		if err != nil {
+			return nil, fmt.Errorf("-live-faults: bad worker in %q: %v", ent, err)
+		}
+		after, err := strconv.ParseUint(wa[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-live-faults: bad trigger count in %q: %v", ent, err)
+		}
+		f := laps.Fault{Worker: w, After: after, Kind: kind}
+		if len(parts) == 3 {
+			d, err := time.ParseDuration(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("-live-faults: bad duration in %q: %v", ent, err)
+			}
+			f.Duration = d
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	if len(plan.Faults) == 0 {
+		return nil, fmt.Errorf("-live-faults: empty spec")
+	}
+	return plan, nil
 }
 
 // findScenario resolves a Table VI scenario by name.

@@ -112,7 +112,13 @@ func (r *ReorderTracker) Flows() int { return len(r.next) }
 // tracker outlives many traffic windows. The capacity bound, if any,
 // is kept.
 func (r *ReorderTracker) Reset() {
-	r.next = make(map[packet.FlowKey]uint64, 1<<14)
+	// Match the constructor's sizing: a tracker bounded at cap < 1<<14
+	// must not reallocate a 16k-bucket map it can never fill.
+	hint := 1 << 14
+	if r.cap > 0 && r.cap < hint {
+		hint = r.cap
+	}
+	r.next = make(map[packet.FlowKey]uint64, hint)
 	r.ooo = 0
 	r.delivered = 0
 	r.fifo = r.fifo[:0]

@@ -66,6 +66,18 @@ const (
 	// EvDrop: a packet was lost to a full queue. Core = the full core
 	// (-1 for the shared queue), Val = the queue occupancy at drop time.
 	EvDrop
+	// EvWorkerStall: the health monitor saw a live worker with backlog
+	// make no progress for a full detection window. Core = the worker,
+	// Val = nanoseconds since its last observed progress.
+	EvWorkerStall
+	// EvWorkerDead: a worker was quarantined (crashed, or stalled past
+	// the detection window). Core = the worker, Val = its stranded
+	// backlog (ring + staged) at quarantine time.
+	EvWorkerDead
+	// EvRecovery: a quarantined worker's backlog was drained and its
+	// resident flows remapped to live workers. Core = the dead worker,
+	// Val = packets re-injected.
+	EvRecovery
 
 	numKinds
 )
@@ -84,6 +96,9 @@ var kindNames = [numKinds]string{
 	EvAFCInvalidate: "afc-invalidate",
 	EvOOODepart:     "ooo-depart",
 	EvDrop:          "drop",
+	EvWorkerStall:   "worker-stall",
+	EvWorkerDead:    "worker-dead",
+	EvRecovery:      "recovery",
 }
 
 // String names the kind as it appears in exported traces.

@@ -1,0 +1,128 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// FaultKind selects what an injected fault does to its worker.
+type FaultKind int
+
+const (
+	// FaultStall parks the worker goroutine for Duration at a batch
+	// boundary, without retiring anything. A stall longer than the
+	// detection window is indistinguishable from a crash and is treated
+	// as one: the monitor quarantines the worker, and on waking it finds
+	// itself seized and exits.
+	FaultStall FaultKind = iota
+	// FaultSlow degrades the worker for Duration of wall time (a small
+	// extra sleep per consumed batch). The worker keeps making progress,
+	// so the monitor must NOT declare it dead — slow-but-alive is the
+	// false-positive case the detector is tested against.
+	FaultSlow
+	// FaultKill makes the worker goroutine exit at a batch boundary, as
+	// a crashed core would: its ring backlog is stranded until the
+	// monitor quarantines and drains it.
+	FaultKill
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultStall:
+		return "stall"
+	case FaultSlow:
+		return "slow"
+	case FaultKill:
+		return "kill"
+	}
+	return "unknown"
+}
+
+// Fault is one scheduled worker fault. It fires at the first batch
+// boundary at which the worker's retired count reaches After, so a plan
+// is deterministic for a deterministic packet feed.
+type Fault struct {
+	Worker   int           // target worker index
+	After    uint64        // fire once the worker has retired this many packets
+	Kind     FaultKind     // what happens
+	Duration time.Duration // stall length / slow window; ignored for kill
+}
+
+// FaultPlan is a set of worker faults injected into one run. Plans are
+// fixed at engine construction; workers consult only their own faults,
+// so injection adds no cross-goroutine coordination.
+type FaultPlan struct {
+	Faults []Fault
+}
+
+// validate checks worker indices and refuses plans that kill every
+// worker — recovery needs at least one survivor to absorb the remap.
+func (p *FaultPlan) validate(workers int) error {
+	killed := make(map[int]bool)
+	for _, f := range p.Faults {
+		if f.Worker < 0 || f.Worker >= workers {
+			return fmt.Errorf("runtime: fault targets worker %d of %d", f.Worker, workers)
+		}
+		if f.Kind == FaultKill {
+			killed[f.Worker] = true
+		}
+		if f.Kind != FaultKill && f.Duration <= 0 {
+			return fmt.Errorf("runtime: %s fault on worker %d needs a positive duration", f.Kind, f.Worker)
+		}
+	}
+	if len(killed) >= workers {
+		return fmt.Errorf("runtime: fault plan kills all %d workers; recovery needs a survivor", workers)
+	}
+	return nil
+}
+
+// forWorker returns worker w's faults sorted by firing point.
+func (p *FaultPlan) forWorker(w int) []Fault {
+	var out []Fault
+	for _, f := range p.Faults {
+		if f.Worker == w {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].After < out[j].After })
+	return out
+}
+
+// RandomFaultPlan derives a reproducible plan from a seed: stalls of
+// stallDur scattered over [1, maxAfter) retired packets, plus kills on
+// distinct workers. Worker 0 is never killed, so at least one worker
+// survives regardless of the requested kill count (which is clamped to
+// workers-1).
+func RandomFaultPlan(seed uint64, workers, stalls, kills int, maxAfter uint64, stallDur time.Duration) *FaultPlan {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	if maxAfter < 2 {
+		maxAfter = 2
+	}
+	if stallDur <= 0 {
+		stallDur = 50 * time.Millisecond
+	}
+	p := &FaultPlan{}
+	for i := 0; i < stalls; i++ {
+		p.Faults = append(p.Faults, Fault{
+			Worker:   rng.Intn(workers),
+			After:    1 + uint64(rng.Int63n(int64(maxAfter))),
+			Kind:     FaultStall,
+			Duration: stallDur,
+		})
+	}
+	if kills > workers-1 {
+		kills = workers - 1
+	}
+	perm := rng.Perm(workers - 1) // candidate victims are workers 1..n-1
+	for i := 0; i < kills; i++ {
+		p.Faults = append(p.Faults, Fault{
+			Worker: perm[i] + 1,
+			After:  1 + uint64(rng.Int63n(int64(maxAfter))),
+			Kind:   FaultKill,
+		})
+	}
+	return p
+}

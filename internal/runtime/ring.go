@@ -71,9 +71,18 @@ func NewRing(capacity int) *Ring {
 func (r *Ring) Cap() int { return len(r.buf) }
 
 // Len returns the current occupancy. It is exact when called from the
-// producer or consumer and a consistent snapshot otherwise.
+// producer (dispatcher push/flush paths) or the consumer (worker drain
+// check), because each owns one of the two indices. Any third goroutine
+// — the metrics sampler, the scheduler's QueueLen view — gets a
+// conservative racy snapshot that is always in [0, Cap]: head is loaded
+// BEFORE tail, so a concurrent consumer can only make the result larger
+// and a concurrent producer can only add packets that were really
+// pushed. Loading tail first would allow head(t1) > tail(t0) and an
+// underflowed garbage length.
 func (r *Ring) Len() int {
-	return int(r.tail.Load() - r.head.Load())
+	h := r.head.Load()
+	t := r.tail.Load()
+	return int(t - h)
 }
 
 // Push appends one packet. It returns false when the ring is full.

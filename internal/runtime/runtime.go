@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"laps/internal/crc"
 	"laps/internal/npsim"
 	"laps/internal/obs"
 	"laps/internal/packet"
@@ -64,8 +65,9 @@ type Config struct {
 	Handler func(worker int, p *packet.Packet)
 	// Recorder, when non-nil, receives control-plane telemetry: drops
 	// from the dispatcher, out-of-order departures from workers (merged
-	// at Stop), plus whatever the scheduler itself emits. Events are
-	// stamped with the runtime clock (ns since Start).
+	// at Stop), fault-tolerance events from the health monitor, plus
+	// whatever the scheduler itself emits. Events are stamped with the
+	// runtime clock (ns since New).
 	Recorder *obs.Recorder
 	// MetricsInterval, when positive, samples per-worker queue depths
 	// and throughput/drop/reorder rates on the wall clock into
@@ -76,8 +78,27 @@ type Config struct {
 	ReorderCap int
 	// FlowStateCap bounds the dispatcher's per-flow routing table.
 	// When exceeded, entries whose packets have all been retired are
-	// swept; 0 means 1<<20.
+	// swept. The cap is soft: when a sweep finds (nearly) every entry
+	// still in flight, sweeping is held off for the next cap/16 new-flow
+	// inserts — so under an adversarial all-in-flight load the table can
+	// overshoot the cap by cap/16 entries per held-off window while the
+	// sweep cost stays amortised O(1) per insert instead of O(cap).
+	// 0 means 1<<20.
 	FlowStateCap int
+	// Faults, when non-nil, injects deterministic worker faults
+	// (stall / slow / kill) at batch boundaries. See FaultPlan.
+	Faults *FaultPlan
+	// DetectWindow enables the health monitor on the dispatcher path: a
+	// worker holding backlog that makes no progress for this long is
+	// quarantined and its state recovered onto the surviving workers.
+	// 0 disables monitoring (crashed workers are then reaped only when
+	// the dispatcher next touches them, or at Stop).
+	//
+	// Sizing: the window must comfortably exceed the longest legitimate
+	// pause between retirements — in particular a WorkSleep batch's
+	// whole emulated service time — or slow workers will be declared
+	// dead spuriously.
+	DetectWindow time.Duration
 }
 
 // flowState is the dispatcher's record of where a flow's packets go and
@@ -93,16 +114,17 @@ type flowState struct {
 type WorkerReport struct {
 	ID         int
 	Processed  uint64 // packets retired
-	Dropped    uint64 // packets bound for this worker lost to a full ring
+	Dropped    uint64 // packets bound for this worker lost to a full ring (or stranded on it)
 	OutOfOrder uint64 // out-of-order departures observed at this worker
 	Batches    uint64 // non-empty ring consume batches
+	Dead       bool   // worker was quarantined by fault recovery
 }
 
 // Result is the outcome of a runtime execution.
 type Result struct {
 	Dispatched   uint64 // packets offered to the scheduler
 	Processed    uint64 // packets retired by workers
-	Dropped      uint64 // packets lost to full rings
+	Dropped      uint64 // packets lost to full rings (includes Stranded)
 	OutOfOrder   uint64 // out-of-order departures (egress tracker)
 	Migrations   uint64 // flows actually switched workers
 	Fenced       uint64 // packets held on their old worker by a fence
@@ -112,7 +134,26 @@ type Result struct {
 	Workers      []WorkerReport
 	// Series is non-nil when MetricsInterval was set.
 	Series *stats.Series
+
+	// Fault-tolerance accounting.
+	WorkerStalls uint64 // stall detections (no progress for a full window)
+	WorkerDeaths uint64 // workers quarantined (crashed or stalled past the window)
+	Reinjected   uint64 // stranded packets re-dispatched onto live workers
+	Recovered    uint64 // distinct flows remapped off dead workers by recovery
+	Forced       uint64 // fences released against an undrainable dead worker
+	Stranded     uint64 // packets unrecoverable at Stop (also counted in Dropped)
+	// MaxDetect is the worst observed fault-to-quarantine latency. For a
+	// stall it is bounded below by DetectWindow by construction.
+	MaxDetect time.Duration
 }
+
+// routing outcome of one fence resolution (see DispatchTo).
+const (
+	routePlain = iota
+	routeMigrated
+	routeFenced
+	routeForced
+)
 
 // Engine runs a scheduler against real goroutine workers. Construct
 // with New, call Start, feed packets through Dispatch (or DispatchTo)
@@ -123,14 +164,16 @@ type Engine struct {
 	staged  [][]*packet.Packet
 	enqSeq  []uint64 // per-worker packets handed over (staged + pushed)
 
-	flows   map[packet.FlowKey]flowState
-	flowCap int
-	tracker *sharedTracker
-	rec     *obs.Recorder
+	flows     map[packet.FlowKey]flowState
+	flowCap   int
+	sweepHold int // new-flow inserts to skip sweeping for (after a futile sweep)
+	tracker   *sharedTracker
+	rec       *obs.Recorder
 
-	start time.Time
-	ctx   context.Context
-	wg    sync.WaitGroup
+	start    time.Time // runtime clock epoch, stamped at New (pre-Start events need it)
+	runStart time.Time // Start instant, for Elapsed
+	ctx      context.Context
+	wg       sync.WaitGroup
 
 	dispatched atomic.Uint64
 	dropped    atomic.Uint64
@@ -138,11 +181,33 @@ type Engine struct {
 	migrations atomic.Uint64
 	fenced     atomic.Uint64
 
+	// Fault-tolerance state. All dispatcher-goroutine-only.
+	dead       []bool // quarantined workers
+	live       []int  // indices of non-quarantined workers
+	mon        *healthMon
+	inRecovery bool
+	stalls     uint64
+	deaths     uint64
+	reinjected uint64
+	recovered  uint64
+	forced     uint64
+	stranded   uint64
+	maxDetect  time.Duration
+
 	sampler     *obs.Sampler
 	samplerStop chan struct{}
 	samplerDone chan struct{}
 
 	started, stopped bool
+}
+
+// healthMon is the dispatcher-path liveness detector's state.
+type healthMon struct {
+	window    time.Duration
+	lastProc  []uint64    // retired count at the last beat
+	lastBeat  []time.Time // last instant progress (or emptiness) was observed
+	calls     uint64
+	lastCheck time.Time
 }
 
 // New validates cfg and builds an engine (workers not yet running).
@@ -165,6 +230,11 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.FlowStateCap <= 0 {
 		cfg.FlowStateCap = 1 << 20
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.validate(cfg.Workers); err != nil {
+			return nil, err
+		}
+	}
 	var zero [packet.NumServices]npsim.ServiceDef
 	if cfg.Services == zero {
 		cfg.Services = npsim.DefaultServices()
@@ -176,6 +246,15 @@ func New(cfg Config) (*Engine, error) {
 		tracker:  newSharedTracker(cfg.ReorderCap),
 		rec:      cfg.Recorder,
 		perWDrop: make([]atomic.Uint64, cfg.Workers),
+		dead:     make([]bool, cfg.Workers),
+		// The clock epoch is stamped here, not at Start: recorders are
+		// wired to e.Now at construction, and an event emitted before
+		// Start must not be stamped against the zero time (whose
+		// nanosecond distance overflows int64 into garbage).
+		start: time.Now(),
+	}
+	if e.rec != nil {
+		e.rec.SetClock(e.Now)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
@@ -189,6 +268,9 @@ func New(cfg Config) (*Engine, error) {
 			handler:    cfg.Handler,
 		}
 		w.idleSince.Store(0)
+		if cfg.Faults != nil {
+			w.faults = cfg.Faults.forWorker(i)
+		}
 		if e.rec != nil {
 			// Workers get private recorders (merged at Stop) because
 			// obs.Recorder is single-writer by design.
@@ -197,12 +279,20 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.workers = append(e.workers, w)
 		e.staged = append(e.staged, make([]*packet.Packet, 0, cfg.Batch))
+		e.live = append(e.live, i)
 	}
 	e.enqSeq = make([]uint64, cfg.Workers)
+	if cfg.DetectWindow > 0 {
+		e.mon = &healthMon{
+			window:   cfg.DetectWindow,
+			lastProc: make([]uint64, cfg.Workers),
+			lastBeat: make([]time.Time, cfg.Workers),
+		}
+	}
 	return e, nil
 }
 
-// Now is the runtime clock: nanoseconds since Start, as a sim.Time so
+// Now is the runtime clock: nanoseconds since New, as a sim.Time so
 // schedulers written for the simulator read it unchanged.
 func (e *Engine) Now() sim.Time {
 	return sim.Time(time.Since(e.start).Nanoseconds())
@@ -215,15 +305,25 @@ func (e *Engine) NumCores() int { return len(e.workers) }
 
 // QueueLen returns worker c's backlog as the scheduler should see it:
 // ring occupancy plus in-service packets plus staged-but-unflushed ones.
+// A quarantined worker reads as permanently full, which is how the
+// scheduler's view is "shrunk" to the surviving cores without
+// renumbering them.
 func (e *Engine) QueueLen(c int) int {
+	if e.dead[c] {
+		return e.workers[c].ring.Cap()
+	}
 	return e.workers[c].queueLen() + len(e.staged[c])
 }
 
 // QueueCap returns the per-worker ring capacity.
 func (e *Engine) QueueCap() int { return e.workers[0].ring.Cap() }
 
-// IdleFor returns how long worker c has been out of work.
+// IdleFor returns how long worker c has been out of work. A quarantined
+// worker is never idle (it must not attract work or donate itself).
 func (e *Engine) IdleFor(c int) sim.Time {
+	if e.dead[c] {
+		return 0
+	}
 	if len(e.staged[c]) > 0 {
 		return 0
 	}
@@ -242,9 +342,12 @@ func (e *Engine) Start(ctx context.Context) {
 		ctx = context.Background()
 	}
 	e.ctx = ctx
-	e.start = time.Now()
-	if e.rec != nil {
-		e.rec.SetClock(e.Now)
+	e.runStart = time.Now()
+	if e.mon != nil {
+		for i := range e.mon.lastBeat {
+			e.mon.lastBeat[i] = e.runStart
+		}
+		e.mon.lastCheck = e.runStart
 	}
 	for _, w := range e.workers {
 		w := w
@@ -274,60 +377,140 @@ func (e *Engine) Dispatch(p *packet.Packet) bool {
 // DispatchTo routes a packet whose target was already decided (the
 // conformance harness mirrors simulator decisions through this). Same
 // contract as Dispatch.
+//
+// Route resolution runs in a loop because recovery can change the world
+// mid-dispatch: a worker found dead is reaped (quarantined + drained)
+// synchronously and the route re-resolved against the recovered flow
+// table, so every decision is made on post-recovery state.
 func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
 	e.dispatched.Add(1)
-	st, seen := e.flows[p.Flow]
-	if seen && int(st.core) != target {
-		if e.cfg.DisableFencing || e.workers[st.core].processed.Load() >= st.seq {
-			// The old worker retired every packet of this flow (or we
-			// were asked not to care): the switch is ordering-safe.
-			e.migrations.Add(1)
-		} else {
-			// Fence: the flow stays on its old worker until the drain
-			// completes, so its in-flight packets cannot be overtaken.
-			e.fenced.Add(1)
-			target = int(st.core)
+	e.maybeCheckHealth()
+	for {
+		t := target
+		if e.dead[t] {
+			t = e.reroute(p.Flow, 0)
+			if t < 0 {
+				e.countDrop(p, target)
+				return false
+			}
+		} else if e.workers[t].state.Load() == wsDead {
+			// The scheduler picked a worker that died since the last
+			// health check: reap it first, then re-resolve.
+			e.reapDead(t)
+			continue
 		}
+		kind := routePlain
+		st, seen := e.flows[p.Flow]
+		if seen && int(st.core) != t {
+			old := int(st.core)
+			switch {
+			case e.cfg.DisableFencing || e.workers[old].processed.Load() >= st.seq:
+				// The old worker retired every packet of this flow (or we
+				// were asked not to care): the switch is ordering-safe.
+				kind = routeMigrated
+			case !e.dead[old] && e.workers[old].state.Load() == wsDead:
+				// The flow is fenced to a worker that died undetected.
+				// Reap it — recovery re-injects the fenced backlog in
+				// order and remaps the flow — then re-resolve.
+				e.reapDead(old)
+				continue
+			case e.dead[old]:
+				// Quarantined but undrainable (seize failed): the flow's
+				// unretired packets are stuck forever. Holding the fence
+				// would wedge the flow too; release it, counted, and
+				// accept the bounded reordering risk.
+				kind = routeForced
+			default:
+				// Fence: the flow stays on its old worker until the drain
+				// completes, so its in-flight packets cannot be overtaken.
+				kind = routeFenced
+				t = old
+			}
+		}
+		ok, retry := e.push(p, t)
+		if retry {
+			continue
+		}
+		if !ok {
+			return false
+		}
+		switch kind {
+		case routeMigrated:
+			e.migrations.Add(1)
+		case routeForced:
+			e.forced++
+			e.migrations.Add(1)
+		case routeFenced:
+			e.fenced.Add(1)
+		}
+		e.rememberFlow(p.Flow, t)
+		return true
 	}
-	if !e.push(p, target) {
-		return false
-	}
-	e.rememberFlow(p.Flow, target)
-	return true
 }
 
 // rememberFlow updates the flow's routing record, sweeping drained
-// entries when the table outgrows its cap.
+// entries when the table outgrows its cap. A sweep that frees (almost)
+// nothing — everything still in flight — is not retried for the next
+// flowCap/16 inserts, keeping the at-cap insert path amortised O(1)
+// instead of O(cap) per packet (the table overshoots the cap by at most
+// that hold-off per window; see Config.FlowStateCap).
 func (e *Engine) rememberFlow(f packet.FlowKey, target int) {
 	if _, ok := e.flows[f]; !ok && len(e.flows) >= e.flowCap {
-		for k, st := range e.flows {
-			if e.workers[st.core].processed.Load() >= st.seq {
-				delete(e.flows, k)
+		if e.sweepHold > 0 {
+			e.sweepHold--
+		} else {
+			before := len(e.flows)
+			for k, st := range e.flows {
+				if e.workers[st.core].processed.Load() >= st.seq {
+					delete(e.flows, k)
+				}
+			}
+			if before-len(e.flows) < e.flowCap/64+1 {
+				e.sweepHold = e.flowCap / 16
 			}
 		}
 	}
 	e.flows[f] = flowState{core: int32(target), seq: e.enqSeq[target]}
 }
 
+// countDrop records one dropped packet bound for worker w.
+func (e *Engine) countDrop(p *packet.Packet, w int) {
+	e.dropped.Add(1)
+	e.perWDrop[w].Add(1)
+	if e.rec != nil {
+		e.rec.Emit(obs.Event{Kind: obs.EvDrop, Service: int16(p.Service),
+			Core: int32(w), Core2: -1, Flow: p.Flow,
+			Val: int64(e.workers[w].ring.Len() + len(e.staged[w]))})
+	}
+}
+
 // push stages p for worker w, flushing when the stage buffer fills.
 // Fullness is decided against a conservative occupancy estimate
 // (ring + staged), so flushes never fail: the worker only drains the
 // ring between dispatcher steps.
-func (e *Engine) push(p *packet.Packet, w int) bool {
+//
+// Returns (accepted, retry). retry means the target worker died before
+// or while the dispatcher was waiting on its ring — the caller must
+// re-resolve the route; nothing was enqueued or counted.
+func (e *Engine) push(p *packet.Packet, w int) (bool, bool) {
 	wk := e.workers[w]
+	if e.dead[w] || wk.state.Load() == wsDead {
+		return false, true
+	}
 	for wk.ring.Len()+len(e.staged[w]) >= wk.ring.Cap() {
 		if e.cfg.Policy == DropWhenFull || e.ctx.Err() != nil {
-			e.dropped.Add(1)
-			e.perWDrop[w].Add(1)
-			if e.rec != nil {
-				e.rec.Emit(obs.Event{Kind: obs.EvDrop, Service: int16(p.Service),
-					Core: int32(w), Core2: -1, Flow: p.Flow,
-					Val: int64(wk.ring.Len() + len(e.staged[w]))})
-			}
-			return false
+			e.countDrop(p, w)
+			return false, false
 		}
 		// Backpressure: publish what we have and wait for the drain.
+		// The health monitor keeps running here — if w itself is the
+		// worker that died, recovery marks it and we bail out to retry
+		// instead of waiting forever.
 		e.flushWorker(w)
+		e.maybeCheckHealth()
+		if e.dead[w] || wk.state.Load() == wsDead {
+			return false, true
+		}
 		time.Sleep(5 * time.Microsecond)
 	}
 	e.staged[w] = append(e.staged[w], p)
@@ -335,7 +518,7 @@ func (e *Engine) push(p *packet.Packet, w int) bool {
 	if len(e.staged[w]) >= e.cfg.Batch {
 		e.flushWorker(w)
 	}
-	return true
+	return true, false
 }
 
 // flushWorker publishes worker w's staged packets into its ring. By
@@ -353,11 +536,213 @@ func (e *Engine) flushWorker(w int) {
 }
 
 // Flush publishes every staged packet. Call when the arrival stream
-// pauses (pacing gaps) so low-rate workers are not starved.
+// pauses (pacing gaps) so low-rate workers are not starved. Quarantined
+// workers are skipped — their stage buffers were drained by recovery.
 func (e *Engine) Flush() {
 	for w := range e.staged {
+		if e.dead[w] {
+			continue
+		}
 		e.flushWorker(w)
 	}
+}
+
+// --- health monitoring and recovery (dispatcher goroutine only) ---
+
+// maybeCheckHealth runs the liveness check at a bounded cadence: every
+// 64 dispatcher touches, and no more than ~8 times per detection
+// window. Re-entry during a recovery is suppressed.
+func (e *Engine) maybeCheckHealth() {
+	if e.mon == nil || e.inRecovery {
+		return
+	}
+	e.mon.calls++
+	if e.mon.calls&63 != 0 {
+		return
+	}
+	now := time.Now()
+	if now.Sub(e.mon.lastCheck) < e.mon.window/8 {
+		return
+	}
+	e.checkHealth(now)
+}
+
+// checkHealth scans the workers for definitive deaths (exited
+// goroutines) and stalls (backlog held with no retirements for a full
+// window). The last surviving worker is never quarantined on the stall
+// heuristic — a wrong guess there would leave no data path at all.
+func (e *Engine) checkHealth(now time.Time) {
+	e.mon.lastCheck = now
+	for i, w := range e.workers {
+		if e.dead[i] {
+			continue
+		}
+		if w.state.Load() == wsDead {
+			e.reapDead(i)
+			continue
+		}
+		if len(e.live) <= 1 {
+			return
+		}
+		p := w.processed.Load()
+		// Only backlog the worker can actually drain counts: ring +
+		// in-service. Staged packets are held by the dispatcher — during
+		// a long push-wait on some other worker's ring they would make
+		// an idle, healthy worker look stalled.
+		if p != e.mon.lastProc[i] || w.queueLen() == 0 {
+			e.mon.lastProc[i] = p
+			e.mon.lastBeat[i] = now
+			continue
+		}
+		if stalled := now.Sub(e.mon.lastBeat[i]); stalled >= e.mon.window {
+			e.stalls++
+			if e.rec != nil {
+				e.rec.Emit(obs.Event{Kind: obs.EvWorkerStall, Service: -1,
+					Core: int32(i), Core2: -1, Val: stalled.Nanoseconds()})
+			}
+			e.quarantine(i)
+		}
+	}
+}
+
+// reapDead quarantines a worker whose goroutine has definitively exited
+// (kill fault). Idempotent.
+func (e *Engine) reapDead(i int) {
+	if !e.dead[i] {
+		e.quarantine(i)
+	}
+}
+
+// quarantine removes worker i from the live set, records the death and
+// runs recovery. Dispatcher goroutine only.
+func (e *Engine) quarantine(i int) {
+	e.dead[i] = true
+	e.rebuildLive()
+	e.deaths++
+	w := e.workers[i]
+	if fa := w.faultAt.Swap(0); fa > 0 {
+		if d := time.Duration(int64(e.Now()) - fa); d > e.maxDetect {
+			e.maxDetect = d
+		}
+	}
+	if e.rec != nil {
+		e.rec.Emit(obs.Event{Kind: obs.EvWorkerDead, Service: -1, Core: int32(i),
+			Core2: -1, Val: int64(w.queueLen() + len(e.staged[i]))})
+	}
+	e.recoverWorker(i)
+}
+
+// rebuildLive recomputes the surviving-worker index list.
+func (e *Engine) rebuildLive() {
+	e.live = e.live[:0]
+	for i := range e.workers {
+		if !e.dead[i] {
+			e.live = append(e.live, i)
+		}
+	}
+}
+
+// recoverWorker is the ordering-safe recovery path for a quarantined
+// worker: seize the ring's consumer role, re-inject the stranded
+// backlog (ring, oldest first, then the stage buffer) onto live workers
+// in arrival order, and purge the dead worker's flow-routing entries.
+//
+// Ordering argument: a flow resident on the dead worker has ALL of its
+// unretired packets inside the stranded backlog (the fence guarantees a
+// flow's in-flight packets live on exactly one worker), and they are
+// drained in enqueue order. Re-injecting them in that order onto one
+// live worker — and re-pointing the fence at it — therefore preserves
+// per-flow order by construction; packets retired before the fault had
+// already departed in order.
+//
+// If the worker cannot be seized (wedged mid-batch, holding popped
+// packets), its backlog is unrecoverable: the worker stays quarantined,
+// nothing is drained, and fences against it are force-released on the
+// flows' next packets (counted in Result.Forced).
+func (e *Engine) recoverWorker(i int) {
+	e.inRecovery = true
+	defer func() { e.inRecovery = false }()
+	w := e.workers[i]
+	var reinjected uint64
+	touched := make(map[packet.FlowKey]struct{})
+	if w.seize() {
+		buf := make([]*packet.Packet, e.cfg.Batch)
+		for {
+			n := w.ring.PopBatch(buf)
+			if n == 0 {
+				break
+			}
+			for j := 0; j < n; j++ {
+				if e.reinject(buf[j], touched) {
+					reinjected++
+				}
+				buf[j] = nil
+			}
+		}
+		for _, p := range e.staged[i] {
+			if e.reinject(p, touched) {
+				reinjected++
+			}
+		}
+		e.staged[i] = e.staged[i][:0]
+		// Every still-in-flight entry was just re-pointed by reinject;
+		// what remains on this worker is fully retired and safe to
+		// forget (the next packet starts the flow fresh).
+		retired := w.processed.Load()
+		for k, st := range e.flows {
+			if int(st.core) == i && retired >= st.seq {
+				delete(e.flows, k)
+			}
+		}
+	}
+	e.reinjected += reinjected
+	e.recovered += uint64(len(touched))
+	if e.rec != nil {
+		e.rec.Emit(obs.Event{Kind: obs.EvRecovery, Service: -1, Core: int32(i),
+			Core2: -1, Val: int64(reinjected)})
+	}
+}
+
+// reinject pushes one stranded packet onto a live worker, bypassing the
+// fence (see recoverWorker for why that is ordering-safe), and
+// re-points the flow's routing record so subsequent packets fence
+// against the new home. Reports whether the packet was accepted.
+func (e *Engine) reinject(p *packet.Packet, touched map[packet.FlowKey]struct{}) bool {
+	for attempt := 0; ; attempt++ {
+		t := e.reroute(p.Flow, attempt)
+		if t < 0 {
+			e.dropped.Add(1)
+			return false
+		}
+		ok, retry := e.push(p, t)
+		if retry {
+			continue
+		}
+		if !ok {
+			return false
+		}
+		e.flows[p.Flow] = flowState{core: int32(t), seq: e.enqSeq[t]}
+		touched[p.Flow] = struct{}{}
+		return true
+	}
+}
+
+// reroute deterministically picks a surviving worker for a flow by
+// hash, skipping workers whose goroutines have died but are not yet
+// quarantined. Returns -1 when no live worker is reachable.
+func (e *Engine) reroute(f packet.FlowKey, attempt int) int {
+	n := len(e.live)
+	if n == 0 {
+		return -1
+	}
+	h := int(crc.FlowHash(f)) + attempt
+	for i := 0; i < n; i++ {
+		c := e.live[(h+i)%n]
+		if e.workers[c].state.Load() != wsDead {
+			return c
+		}
+	}
+	return -1
 }
 
 // Stop flushes, closes the rings, waits for the workers to drain, stops
@@ -368,12 +753,31 @@ func (e *Engine) Stop() *Result {
 		panic("runtime: Stop on a non-running engine")
 	}
 	e.stopped = true
+	// Reap workers that died after the last health check (or with
+	// monitoring off) while re-injection is still possible — the
+	// surviving workers are running until the rings close below.
+	for i, w := range e.workers {
+		if !e.dead[i] && w.state.Load() == wsDead {
+			e.reapDead(i)
+		}
+	}
 	e.Flush()
 	for _, w := range e.workers {
 		w.ring.Close()
 	}
 	e.wg.Wait()
-	elapsed := time.Since(e.start)
+	elapsed := time.Since(e.runStart)
+	// Anything left in a ring or stage buffer now is stranded: its
+	// worker died too late (or was undrainable) and every survivor has
+	// exited. Count it as dropped so conservation holds.
+	for i, w := range e.workers {
+		s := uint64(w.ring.Len()) + uint64(len(e.staged[i]))
+		if s > 0 {
+			e.stranded += s
+			e.dropped.Add(s)
+			e.perWDrop[i].Add(s)
+		}
+	}
 	if e.samplerStop != nil {
 		close(e.samplerStop)
 		<-e.samplerDone
@@ -389,6 +793,13 @@ func (e *Engine) Stop() *Result {
 		TrackedFlows: e.tracker.flows(),
 		EvictedFlows: e.tracker.evicted(),
 		Elapsed:      elapsed,
+		WorkerStalls: e.stalls,
+		WorkerDeaths: e.deaths,
+		Reinjected:   e.reinjected,
+		Recovered:    e.recovered,
+		Forced:       e.forced,
+		Stranded:     e.stranded,
+		MaxDetect:    e.maxDetect,
 	}
 	for i, w := range e.workers {
 		res.Processed += w.processed.Load()
@@ -398,6 +809,7 @@ func (e *Engine) Stop() *Result {
 			Dropped:    e.perWDrop[i].Load(),
 			OutOfOrder: w.ooo.Load(),
 			Batches:    w.batches.Load(),
+			Dead:       e.dead[i],
 		})
 	}
 	if e.sampler != nil {

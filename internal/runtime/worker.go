@@ -29,12 +29,34 @@ const (
 	WorkSleep
 )
 
+// Consumer-ownership states. The worker and the recovery path arbitrate
+// who may touch the ring's consumer side through this single atomic:
+// exactly one party holds it at a time, so a quarantined worker can
+// never race the dispatcher draining its ring.
+const (
+	// wsIdle: the worker is between batches (or parked in a stall) and
+	// is not touching the ring. Recovery may seize from here.
+	wsIdle int32 = iota
+	// wsActive: the worker holds the consumer role — popping, working,
+	// retiring. Not seizable.
+	wsActive
+	// wsDead: terminal. Either the worker exited (normal drain-out or a
+	// kill fault) or recovery seized the ring. A worker that finds this
+	// state returns immediately without another ring access.
+	wsDead
+)
+
+// slowBatchDelay is the extra per-batch latency a FaultSlow worker pays
+// while its slow window is open — enough to degrade throughput, small
+// enough that progress stays visible to the health monitor.
+const slowBatchDelay = 50 * time.Microsecond
+
 // worker is one emulated core: a goroutine consuming an SPSC ring.
 //
 // All cross-goroutine fields are atomics: the dispatcher reads
 // processed/inflight/idleSince to answer scheduler View queries and to
 // resolve migration fences; the sampler goroutine reads the counters
-// for time-series probes.
+// for time-series probes; the health monitor reads state and faultAt.
 type worker struct {
 	id   int
 	ring *Ring
@@ -42,8 +64,10 @@ type worker struct {
 	processed atomic.Uint64 // packets fully retired
 	inflight  atomic.Int64  // popped from the ring but not yet retired
 	ooo       atomic.Uint64 // out-of-order departures observed here
-	batches   atomic.Uint64 // non-empty PopBatch calls
+	batches   atomic.Uint64 // non-empty ring consume batches
 	idleSince atomic.Int64  // runtime-clock ns when the ring went empty; -1 = busy
+	state     atomic.Int32  // wsIdle / wsActive / wsDead (see above)
+	faultAt   atomic.Int64  // runtime-clock ns when a stall/kill fault fired; 0 = none
 
 	tracker *sharedTracker
 	rec     *obs.Recorder // private per-worker recorder, merged at stop
@@ -53,22 +77,38 @@ type worker struct {
 	workFactor float64
 	services   [packet.NumServices]npsim.ServiceDef
 	handler    func(worker int, p *packet.Packet)
+
+	// Fault injection state, read only by this worker's goroutine.
+	faults    []Fault
+	faultIdx  int
+	slowUntil time.Time
 }
 
 // run is the worker goroutine body: drain batches until the ring is
-// closed and empty. Exits are graceful — the dispatcher closes the ring
+// closed and empty, or until a kill fault or a recovery seizure ends the
+// worker. Normal exits are graceful — the dispatcher closes the ring
 // after its last push, so no packet is stranded.
 func (w *worker) run(batch int) {
 	buf := make([]*packet.Packet, batch)
 	idleSpins := 0
 	for {
+		if !w.state.CompareAndSwap(wsIdle, wsActive) {
+			// Recovery seized the ring while we were parked or stalled:
+			// it now owns the consumer side. Exit without touching it.
+			return
+		}
 		n := w.ring.PopBatch(buf)
 		if n == 0 {
 			if w.ring.Closed() && w.ring.Len() == 0 {
+				w.state.Store(wsDead)
 				return
 			}
 			if w.idleSince.Load() < 0 {
 				w.idleSince.Store(int64(w.now()))
+			}
+			w.state.Store(wsIdle)
+			if w.applyFault() {
+				return
 			}
 			// Back off progressively: stay hot for a few rounds (packets
 			// arrive in bursts), then yield, then sleep so idle workers
@@ -86,17 +126,28 @@ func (w *worker) run(batch int) {
 		w.idleSince.Store(-1)
 		w.inflight.Store(int64(n))
 		w.batches.Add(1)
-		var modeled sim.Time
+		if !w.slowUntil.IsZero() && time.Now().Before(w.slowUntil) {
+			time.Sleep(slowBatchDelay)
+		}
+		if w.work == WorkSleep {
+			// The batch's emulated service time must elapse BEFORE any
+			// packet is retired: departure order and the migration fence
+			// both key on the retired count, so retiring first would let
+			// a fence clear (and QueueLen read zero) while the modeled
+			// work is still pending.
+			var modeled sim.Time
+			for i := 0; i < n; i++ {
+				modeled += w.services[buf[i].Service].ProcTime(buf[i].Size)
+			}
+			if modeled > 0 {
+				time.Sleep(time.Duration(float64(modeled) * w.workFactor))
+			}
+		}
 		for i := 0; i < n; i++ {
 			p := buf[i]
 			buf[i] = nil
-			if w.work != WorkNone {
-				d := w.services[p.Service].ProcTime(p.Size)
-				if w.work == WorkSpin {
-					w.spin(time.Duration(float64(d) * w.workFactor))
-				} else {
-					modeled += d
-				}
+			if w.work == WorkSpin {
+				w.spin(time.Duration(float64(w.services[p.Service].ProcTime(p.Size)) * w.workFactor))
 			}
 			if w.handler != nil {
 				w.handler(w.id, p)
@@ -111,11 +162,53 @@ func (w *worker) run(batch int) {
 			w.inflight.Add(-1)
 			w.processed.Add(1)
 		}
-		if w.work == WorkSleep && modeled > 0 {
-			time.Sleep(time.Duration(float64(modeled) * w.workFactor))
+		w.state.Store(wsIdle)
+		if w.applyFault() {
+			return
 		}
-		w.inflight.Store(0)
 	}
+}
+
+// applyFault fires the worker's next scheduled fault once its retired
+// count reaches the trigger. Called only at batch boundaries with state
+// == wsIdle, so a stalled worker is always seizable and a kill never
+// abandons popped-but-unretired packets. Returns true when the worker
+// must exit (kill).
+func (w *worker) applyFault() bool {
+	if w.faultIdx >= len(w.faults) {
+		return false
+	}
+	f := w.faults[w.faultIdx]
+	if w.processed.Load() < f.After {
+		return false
+	}
+	w.faultIdx++
+	switch f.Kind {
+	case FaultStall:
+		w.faultAt.Store(int64(w.now()))
+		time.Sleep(f.Duration)
+	case FaultSlow:
+		w.slowUntil = time.Now().Add(f.Duration)
+	case FaultKill:
+		w.faultAt.Store(int64(w.now()))
+		w.state.Store(wsDead)
+		return true
+	}
+	return false
+}
+
+// seize takes the ring's consumer role away from the worker so the
+// dispatcher can drain it. It succeeds when the worker is parked
+// (wsIdle — including mid-stall) or already dead; it fails for a worker
+// wedged mid-batch (wsActive), which recovery must then leave alone.
+func (w *worker) seize() bool {
+	for i := 0; i < 1024; i++ {
+		if w.state.CompareAndSwap(wsIdle, wsDead) || w.state.Load() == wsDead {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
 }
 
 // spin busy-waits for roughly d without yielding the processor, the
@@ -131,7 +224,8 @@ func (w *worker) spin(d time.Duration) {
 
 // queueLen is the worker's occupancy as the scheduler should see it:
 // ring backlog plus packets popped but not yet retired (the "in
-// service" slot npsim counts the same way).
+// service" slot npsim counts the same way). A WorkSleep batch counts as
+// in-service for its whole emulated duration.
 func (w *worker) queueLen() int {
 	n := w.ring.Len() + int(w.inflight.Load())
 	if n < 0 {

@@ -27,6 +27,13 @@ type (
 	RunStats = rt.Result
 	// WorkerReport is one live worker's accounting.
 	WorkerReport = rt.WorkerReport
+	// FaultPlan schedules deterministic worker faults (stall / slow /
+	// kill) for a live run. Build one by hand or with RandomFaultPlan.
+	FaultPlan = rt.FaultPlan
+	// Fault is one scheduled worker fault in a FaultPlan.
+	Fault = rt.Fault
+	// FaultKind selects what an injected fault does to its worker.
+	FaultKind = rt.FaultKind
 )
 
 // Work emulation modes for RunConfig.Work.
@@ -35,6 +42,19 @@ const (
 	WorkSpin  = rt.WorkSpin
 	WorkSleep = rt.WorkSleep
 )
+
+// Fault kinds for FaultPlan entries.
+const (
+	FaultStall = rt.FaultStall
+	FaultSlow  = rt.FaultSlow
+	FaultKill  = rt.FaultKill
+)
+
+// RandomFaultPlan derives a reproducible fault plan from a seed; worker
+// 0 is never killed, so recovery always has a survivor.
+func RandomFaultPlan(seed uint64, workers, stalls, kills int, maxAfter uint64, stallDur time.Duration) *FaultPlan {
+	return rt.RandomFaultPlan(seed, workers, stalls, kills, maxAfter, stallDur)
+}
 
 // RunConfig describes a live execution for Run: the same scheduler and
 // traffic vocabulary as SimConfig, executed on worker goroutines with
@@ -104,6 +124,17 @@ type RunConfig struct {
 	// 0 keeps exact tracking.
 	ReorderCap int
 
+	// Faults, when non-nil, injects deterministic worker faults into the
+	// live run (stall / slow / kill at batch boundaries). Not available
+	// in shadow mode, whose point is exact decision conformance.
+	Faults *FaultPlan
+	// DetectWindow enables the dispatcher-path health monitor: a worker
+	// holding drainable backlog with no progress for this long is
+	// quarantined, its stranded packets re-injected in order onto the
+	// survivors, and its resident flows remapped. 0 disables monitoring
+	// (crashed workers are then reaped lazily and at Stop).
+	DetectWindow time.Duration
+
 	// Seed drives arrival randomness and the scheduler's AFD; 0 means 1.
 	Seed uint64
 	// Context, when non-nil, allows clean shutdown: cancellation stops
@@ -163,6 +194,8 @@ func newLiveEngine(cfg RunConfig, workers int, scheduler npsim.Scheduler, policy
 		Recorder:        cfg.Trace,
 		MetricsInterval: cfg.MetricsInterval,
 		ReorderCap:      cfg.ReorderCap,
+		Faults:          cfg.Faults,
+		DetectWindow:    cfg.DetectWindow,
 	})
 }
 
@@ -271,6 +304,9 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 // unchanged, and a capture wrapper mirrors every (packet, target)
 // decision onto the live engine as it is made.
 func runShadow(cfg RunConfig) (*RunResult, error) {
+	if cfg.Faults != nil {
+		return nil, fmt.Errorf("laps: fault injection is incompatible with shadow mode — recovery re-routes packets, breaking decision conformance")
+	}
 	simCfg := *cfg.Shadow
 	if simCfg.Cores == 0 {
 		simCfg.Cores = 16

@@ -69,6 +69,40 @@ func TestRunLiveTelemetry(t *testing.T) {
 	}
 }
 
+// TestRunLiveWithFaults drives fault injection through the public API:
+// a stall past the window plus a kill, under backpressure — nothing may
+// drop or reorder, and the recovery counters must surface in RunStats.
+func TestRunLiveWithFaults(t *testing.T) {
+	res, err := laps.Run(laps.RunConfig{
+		Workers:  4,
+		Duration: 2 * laps.Millisecond,
+		Seed:     3,
+		Block:    true,
+		Traffic:  liveTraffic(3),
+		Faults: &laps.FaultPlan{Faults: []laps.Fault{
+			{Worker: 1, After: 500, Kind: laps.FaultStall, Duration: 600 * time.Millisecond},
+			{Worker: 3, After: 800, Kind: laps.FaultKill},
+		}},
+		DetectWindow: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live.Processed != res.Live.Dispatched || res.Live.Dropped != 0 {
+		t.Fatalf("faulted block run lost packets: processed %d of %d, dropped %d",
+			res.Live.Processed, res.Live.Dispatched, res.Live.Dropped)
+	}
+	if res.Live.OutOfOrder != 0 {
+		t.Fatalf("recovery reordered %d packets", res.Live.OutOfOrder)
+	}
+	if res.Live.WorkerDeaths == 0 {
+		t.Fatal("injected kill never quarantined")
+	}
+	if !res.Live.Workers[3].Dead {
+		t.Fatal("killed worker 3 not reported dead")
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if _, err := laps.Run(laps.RunConfig{}); err == nil {
 		t.Fatal("empty config accepted")
@@ -81,6 +115,11 @@ func TestRunValidation(t *testing.T) {
 	bad := laps.SimConfig{Cores: 8, Traffic: liveTraffic(1)}
 	if _, err := laps.Run(laps.RunConfig{Workers: 4, Shadow: &bad}); err == nil {
 		t.Fatal("shadow mode accepted Workers != Shadow.Cores")
+	}
+	shadow := laps.SimConfig{Cores: 4, Traffic: liveTraffic(1)}
+	faults := &laps.FaultPlan{Faults: []laps.Fault{{Worker: 1, Kind: laps.FaultKill}}}
+	if _, err := laps.Run(laps.RunConfig{Shadow: &shadow, Faults: faults}); err == nil {
+		t.Fatal("shadow mode accepted fault injection")
 	}
 }
 
