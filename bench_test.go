@@ -145,13 +145,15 @@ func BenchmarkAFDObserve(b *testing.B) {
 // the full stack (generator + LAPS + cores).
 func BenchmarkSimulatorPacket(b *testing.B) {
 	res, err := laps.Simulate(laps.SimConfig{
-		Duration: laps.Time(b.N) * 40, // ~25 Mpps offered for N packets
-		Seed:     1,
-		Traffic: []laps.ServiceTraffic{{
-			Service: laps.SvcIPForward,
-			Params:  laps.RateParams{A: 25},
-			Trace:   laps.CAIDATrace(1),
-		}},
+		StackConfig: laps.StackConfig{
+			Duration: laps.Time(b.N) * 40, // ~25 Mpps offered for N packets
+			Seed:     1,
+			Traffic: []laps.ServiceTraffic{{
+				Service: laps.SvcIPForward,
+				Params:  laps.RateParams{A: 25},
+				Trace:   laps.CAIDATrace(1),
+			}},
+		},
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -278,18 +280,20 @@ func BenchmarkAblationLoadSignal(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			res, err := laps.Simulate(laps.SimConfig{
-				Custom: core.New(core.Config{
-					TotalCores: 16, Services: 1,
-					InstantLoadSignal: instant,
-					AFD:               afd.Config{Seed: 1},
-				}),
-				Duration: laps.Time(b.N) * 40,
-				Seed:     1,
-				Traffic: []laps.ServiceTraffic{{
-					Service: 0,
-					Params:  laps.RateParams{A: 30},
-					Trace:   laps.CAIDATrace(1),
-				}},
+				StackConfig: laps.StackConfig{
+					Custom: core.New(core.Config{
+						TotalCores: 16, Services: 1,
+						InstantLoadSignal: instant,
+						AFD:               afd.Config{Seed: 1},
+					}),
+					Duration: laps.Time(b.N) * 40,
+					Seed:     1,
+					Traffic: []laps.ServiceTraffic{{
+						Service: 0,
+						Params:  laps.RateParams{A: 30},
+						Trace:   laps.CAIDATrace(1),
+					}},
+				},
 			})
 			if err != nil {
 				b.Fatal(err)

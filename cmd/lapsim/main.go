@@ -19,6 +19,7 @@
 //
 //	lapsim -live -scenario T5 -live-workers 8
 //	lapsim -live -pcap capture.pcap -live-pace 1   # paced pcap replay
+//	lapsim -live -live-dispatchers 4               # sharded data plane
 //
 // The four modes (-exp, -list, -trace/-chrome/-metrics, -live) are
 // mutually exclusive; combining them is a usage error.
@@ -74,6 +75,7 @@ var (
 
 	live        = flag.Bool("live", false, "run one scenario on live goroutine workers instead of the simulator")
 	liveWorkers = flag.Int("live-workers", 4, "live mode: worker goroutines (cores)")
+	liveDisp    = flag.Int("live-dispatchers", 0, "live mode: ingress dispatcher shards resolving flows lock-free against published forwarding snapshots (0 = classic single dispatcher)")
 	livePace    = flag.Float64("live-pace", 0, "live mode: playback speed vs the virtual clock (1 = real time, 0 = flat out)")
 	liveWork    = flag.String("live-work", "none", "live mode: per-packet work emulation (none|spin|sleep)")
 	liveBlock   = flag.Bool("live-block", false, "live mode: apply backpressure instead of dropping on full rings")
@@ -97,6 +99,7 @@ var (
 		"metrics-interval": {"telemetry"},
 		"scenario":         {"telemetry", "live"},
 		"live-workers":     {"live"},
+		"live-dispatchers": {"live"},
 		"live-pace":        {"live"},
 		"live-work":        {"live"},
 		"live-block":       {"live"},
@@ -237,14 +240,17 @@ func runLive(opts exp.Options) error {
 	}
 
 	cfg := laps.RunConfig{
-		Workers:         *liveWorkers,
-		Duration:        sim.Time(dur.Nanoseconds()),
-		TimeCompression: opts.ModelSeconds / dur.Seconds(),
-		Pace:            *livePace,
-		Block:           *liveBlock,
-		Work:            work,
-		Seed:            *seed,
-		DetectWindow:    *liveDetect,
+		StackConfig: laps.StackConfig{
+			Duration:        sim.Time(dur.Nanoseconds()),
+			TimeCompression: opts.ModelSeconds / dur.Seconds(),
+			Seed:            *seed,
+		},
+		Workers:      *liveWorkers,
+		Dispatchers:  *liveDisp,
+		Pace:         *livePace,
+		Block:        *liveBlock,
+		Work:         work,
+		DetectWindow: *liveDetect,
 	}
 	if *liveFaults != "" {
 		plan, err := parseFaultPlan(*liveFaults, *liveWorkers)
@@ -298,6 +304,10 @@ func runLive(opts exp.Options) error {
 	l := res.Live
 	fmt.Printf("live run: %d workers, scheduler %s, wall %v\n",
 		*liveWorkers, res.Scheduler, l.Elapsed.Round(time.Millisecond))
+	if l.Dispatchers > 0 {
+		fmt.Printf("  sharded: dispatchers=%d snapshots=%d feedback-dropped=%d\n",
+			l.Dispatchers, l.Snapshots, l.FeedbackDropped)
+	}
 	fmt.Printf("  generated=%d dispatched=%d processed=%d dropped=%d (%.2f%% loss)\n",
 		res.Generated, l.Dispatched, l.Processed, l.Dropped,
 		100*float64(l.Dropped)/float64(max(l.Dispatched, 1)))

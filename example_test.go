@@ -39,17 +39,19 @@ func ExampleNewDetector() {
 // conservation identity every run must satisfy.
 func ExampleSimulate() {
 	res, err := laps.Simulate(laps.SimConfig{
-		Scheduler: laps.LAPS,
-		Cores:     4,
-		Duration:  200 * laps.Microsecond,
-		Seed:      7,
-		Traffic: []laps.ServiceTraffic{{
-			Service: laps.SvcIPForward,
-			Params:  laps.RateParams{A: 1}, // 1 Mpps
-			Trace: laps.NewTrace(laps.TraceConfig{
-				Name: "demo", Flows: 50, Skew: 1.1, Seed: 3,
-			}),
-		}},
+		StackConfig: laps.StackConfig{
+			Scheduler: laps.LAPS,
+			Duration:  200 * laps.Microsecond,
+			Seed:      7,
+			Traffic: []laps.ServiceTraffic{{
+				Service: laps.SvcIPForward,
+				Params:  laps.RateParams{A: 1}, // 1 Mpps
+				Trace: laps.NewTrace(laps.TraceConfig{
+					Name: "demo", Flows: 50, Skew: 1.1, Seed: 3,
+				}),
+			}},
+		},
+		Cores: 4,
 	})
 	if err != nil {
 		fmt.Println(err)
@@ -70,19 +72,21 @@ func ExampleSimulate() {
 func ExampleSimulate_telemetry() {
 	rec := laps.NewRecorder(1024)
 	res, err := laps.Simulate(laps.SimConfig{
-		Scheduler:       laps.LAPS,
+		StackConfig: laps.StackConfig{
+			Scheduler: laps.LAPS,
+			Duration:  100 * laps.Microsecond,
+			Seed:      7,
+			Traffic: []laps.ServiceTraffic{{
+				Service: laps.SvcIPForward,
+				Params:  laps.RateParams{A: 8}, // 8 Mpps into 2 cores: overload
+				Trace: laps.NewTrace(laps.TraceConfig{
+					Name: "demo", Flows: 40, Skew: 1.2, Seed: 3,
+				}),
+			}},
+		},
 		Cores:           2,
-		Duration:        100 * laps.Microsecond,
 		Trace:           rec,
 		MetricsInterval: 25 * laps.Microsecond,
-		Seed:            7,
-		Traffic: []laps.ServiceTraffic{{
-			Service: laps.SvcIPForward,
-			Params:  laps.RateParams{A: 8}, // 8 Mpps into 2 cores: overload
-			Trace: laps.NewTrace(laps.TraceConfig{
-				Name: "demo", Flows: 40, Skew: 1.2, Seed: 3,
-			}),
-		}},
 	})
 	if err != nil {
 		fmt.Println(err)

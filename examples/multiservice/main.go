@@ -36,10 +36,12 @@ func main() {
 	fmt.Println("scheduler   drop%    cold-cache%   out-of-order%")
 	for _, kind := range []laps.SchedulerKind{laps.FCFS, laps.AFS, laps.LAPS} {
 		res, err := laps.Simulate(laps.SimConfig{
-			Scheduler: kind,
-			Duration:  30 * laps.Millisecond,
-			Seed:      7,
-			Traffic:   mkTraffic(),
+			StackConfig: laps.StackConfig{
+				Scheduler: kind,
+				Duration:  30 * laps.Millisecond,
+				Seed:      7,
+				Traffic:   mkTraffic(),
+			},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -50,14 +50,16 @@ func main() {
 	//    The replay loops if the simulation outlasts the capture.
 	for _, kind := range []laps.SchedulerKind{laps.AFS, laps.LAPS} {
 		res, err := laps.Simulate(laps.SimConfig{
-			Scheduler: kind,
-			Duration:  20 * laps.Millisecond,
-			Seed:      1,
-			Traffic: []laps.ServiceTraffic{{
-				Service: laps.SvcIPForward,
-				Params:  laps.RateParams{A: 33}, // drive at ~103% of capacity
-				Trace:   laps.ReplayTrace("capture", plain, true),
-			}},
+			StackConfig: laps.StackConfig{
+				Scheduler: kind,
+				Duration:  20 * laps.Millisecond,
+				Seed:      1,
+				Traffic: []laps.ServiceTraffic{{
+					Service: laps.SvcIPForward,
+					Params:  laps.RateParams{A: 33}, // drive at ~103% of capacity
+					Trace:   laps.ReplayTrace("capture", plain, true),
+				}},
+			},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -35,10 +35,12 @@ func main() {
 	fmt.Println("scheduler   completed  drop%   energy(J)  ungated(J)  saved   gated-time  nJ/packet")
 	for _, kind := range []laps.SchedulerKind{laps.FCFS, laps.AFS, laps.LAPS} {
 		res, err := laps.Simulate(laps.SimConfig{
-			Scheduler: kind,
-			Duration:  40 * laps.Millisecond,
-			Seed:      11,
-			Traffic:   mkTraffic(),
+			StackConfig: laps.StackConfig{
+				Scheduler: kind,
+				Duration:  40 * laps.Millisecond,
+				Seed:      11,
+				Traffic:   mkTraffic(),
+			},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -20,14 +20,16 @@ func main() {
 	fmt.Println("scheduler   drop%    out-of-order  migrations  mean-latency")
 	for _, kind := range []laps.SchedulerKind{laps.HashOnly, laps.AFS, laps.Oracle, laps.LAPS} {
 		res, err := laps.Simulate(laps.SimConfig{
-			Scheduler: kind,
-			Duration:  20 * laps.Millisecond,
-			Seed:      42,
-			Traffic: []laps.ServiceTraffic{{
-				Service: laps.SvcIPForward,
-				Params:  laps.RateParams{A: rateMpps, Sigma: rateMpps * 0.02},
-				Trace:   laps.CAIDATrace(1),
-			}},
+			StackConfig: laps.StackConfig{
+				Scheduler: kind,
+				Duration:  20 * laps.Millisecond,
+				Seed:      42,
+				Traffic: []laps.ServiceTraffic{{
+					Service: laps.SvcIPForward,
+					Params:  laps.RateParams{A: rateMpps, Sigma: rateMpps * 0.02},
+					Trace:   laps.CAIDATrace(1),
+				}},
+			},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

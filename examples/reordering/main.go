@@ -53,15 +53,17 @@ func main() {
 			}
 		}
 		res, err := laps.Simulate(laps.SimConfig{
-			Cores:    4,
-			Custom:   &flipScheduler{elephant: elephant, period: period},
-			Duration: 40 * laps.Millisecond,
-			Seed:     3,
-			Traffic: []laps.ServiceTraffic{{
-				Service: laps.SvcIPForward,
-				Params:  laps.RateParams{A: 6}, // 6 Mpps over 4 cores: ~75% load
-				Trace:   laps.ReplayTrace("mix", recs, true),
-			}},
+			StackConfig: laps.StackConfig{
+				Custom:   &flipScheduler{elephant: elephant, period: period},
+				Duration: 40 * laps.Millisecond,
+				Seed:     3,
+				Traffic: []laps.ServiceTraffic{{
+					Service: laps.SvcIPForward,
+					Params:  laps.RateParams{A: 6}, // 6 Mpps over 4 cores: ~75% load
+					Trace:   laps.ReplayTrace("mix", recs, true),
+				}},
+			},
+			Cores: 4,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

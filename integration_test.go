@@ -15,14 +15,16 @@ func TestIntegrationPaperOrderings(t *testing.T) {
 	}
 	run := func(kind laps.SchedulerKind) *laps.Result {
 		res, err := laps.Simulate(laps.SimConfig{
-			Scheduler: kind,
-			Duration:  15 * laps.Millisecond,
-			Seed:      5,
-			Traffic: []laps.ServiceTraffic{{
-				Service: laps.SvcIPForward,
-				Params:  laps.RateParams{A: 33.6, Sigma: 0.7},
-				Trace:   laps.CAIDATrace(3),
-			}},
+			StackConfig: laps.StackConfig{
+				Scheduler: kind,
+				Duration:  15 * laps.Millisecond,
+				Seed:      5,
+				Traffic: []laps.ServiceTraffic{{
+					Service: laps.SvcIPForward,
+					Params:  laps.RateParams{A: 33.6, Sigma: 0.7},
+					Trace:   laps.CAIDATrace(3),
+				}},
+			},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -64,15 +66,17 @@ func TestIntegrationPaperOrderings(t *testing.T) {
 // out-of-order packets left, at a measurable buffering cost.
 func TestIntegrationRestoreOrder(t *testing.T) {
 	res, err := laps.Simulate(laps.SimConfig{
-		Scheduler:    laps.AFS,
+		StackConfig: laps.StackConfig{
+			Scheduler: laps.AFS,
+			Duration:  8 * laps.Millisecond,
+			Seed:      5,
+			Traffic: []laps.ServiceTraffic{{
+				Service: laps.SvcIPForward,
+				Params:  laps.RateParams{A: 33.6, Sigma: 0.7},
+				Trace:   laps.CAIDATrace(3),
+			}},
+		},
 		RestoreOrder: true,
-		Duration:     8 * laps.Millisecond,
-		Seed:         5,
-		Traffic: []laps.ServiceTraffic{{
-			Service: laps.SvcIPForward,
-			Params:  laps.RateParams{A: 33.6, Sigma: 0.7},
-			Trace:   laps.CAIDATrace(3),
-		}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -100,13 +104,15 @@ func TestIntegrationPowerPipeline(t *testing.T) {
 	// load would fragment idleness into sub-breakeven gaps — correctly
 	// yielding zero savings.)
 	res, err := laps.Simulate(laps.SimConfig{
-		Duration: 5 * laps.Millisecond,
-		Seed:     2,
-		Traffic: []laps.ServiceTraffic{
-			{Service: laps.SvcIPForward, Params: laps.RateParams{A: 6},
-				Trace: laps.CAIDATrace(1)},
-			{Service: laps.SvcMalwareScan, Params: laps.RateParams{A: 0.005},
-				Trace: laps.AucklandTrace(1)},
+		StackConfig: laps.StackConfig{
+			Duration: 5 * laps.Millisecond,
+			Seed:     2,
+			Traffic: []laps.ServiceTraffic{
+				{Service: laps.SvcIPForward, Params: laps.RateParams{A: 6},
+					Trace: laps.CAIDATrace(1)},
+				{Service: laps.SvcMalwareScan, Params: laps.RateParams{A: 0.005},
+					Trace: laps.AucklandTrace(1)},
+			},
 		},
 	})
 	if err != nil {
@@ -144,13 +150,13 @@ func TestIntegrationMultiserviceIsolation(t *testing.T) {
 				Trace: laps.CAIDATrace(2)},
 		}
 	}
-	fcfs, err := laps.Simulate(laps.SimConfig{
-		Scheduler: laps.FCFS, Duration: 6 * laps.Millisecond, Seed: 3, Traffic: traffic()})
+	fcfs, err := laps.Simulate(laps.SimConfig{StackConfig: laps.StackConfig{
+		Scheduler: laps.FCFS, Duration: 6 * laps.Millisecond, Seed: 3, Traffic: traffic()}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lp, err := laps.Simulate(laps.SimConfig{
-		Scheduler: laps.LAPS, Duration: 6 * laps.Millisecond, Seed: 3, Traffic: traffic()})
+	lp, err := laps.Simulate(laps.SimConfig{StackConfig: laps.StackConfig{
+		Scheduler: laps.LAPS, Duration: 6 * laps.Millisecond, Seed: 3, Traffic: traffic()}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -116,6 +116,7 @@ type LAPS struct {
 	ewma     []float64 // per-core smoothed queue length
 	lastScan sim.Time
 	stats    Stats
+	gen      uint64        // map-table mutation counter (see Generation)
 	rec      *obs.Recorder // nil = no telemetry
 }
 
@@ -420,6 +421,7 @@ func (l *LAPS) park(st *serviceState) {
 	st.lh.Shrink()
 	st.mig.RemoveCore(c)
 	st.parked = append(st.parked, c)
+	l.gen++
 	l.stats.Parks++
 	if l.rec != nil {
 		l.rec.Emit(obs.Event{Kind: obs.EvMapMerge, Service: int16(st.id),
@@ -439,6 +441,7 @@ func (l *LAPS) unpark(st *serviceState) bool {
 	st.parked = st.parked[:len(st.parked)-1]
 	st.cores = append(st.cores, c)
 	st.lh.Grow()
+	l.gen++
 	l.stats.Unparks++
 	if l.rec != nil {
 		l.rec.Emit(obs.Event{Kind: obs.EvCoreReturn, Service: int16(st.id),
@@ -541,6 +544,7 @@ func (l *LAPS) requestCore(req int, v npsim.View) bool {
 			Core: int32(c), Core2: -1, Val: int64(len(reqSt.cores))})
 	}
 	l.owner[c] = req
+	l.gen++
 	l.stats.CoreGrants++
 	return true
 }

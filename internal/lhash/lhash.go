@@ -44,10 +44,16 @@ func (t *Table) Base() int { return t.m }
 func (t *Table) SplitPointer() int { return t.buckets - t.m }
 
 // Index maps a hash value to a bucket in [0, Buckets()).
-func (t *Table) Index(h uint32) int {
-	h1 := int(h) % t.m
-	if h1 < t.buckets-t.m {
-		return int(h) % (2 * t.m)
+func (t *Table) Index(h uint32) int { return IndexIn(t.m, t.buckets, h) }
+
+// IndexIn maps a hash value to a bucket for a table whose state is
+// (m, buckets) — the pure function behind Table.Index, exposed so an
+// immutable snapshot of a table (two ints) can resolve keys without
+// holding the Table itself.
+func IndexIn(m, buckets int, h uint32) int {
+	h1 := int(h) % m
+	if h1 < buckets-m {
+		return int(h) % (2 * m)
 	}
 	return h1
 }

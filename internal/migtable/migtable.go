@@ -24,6 +24,7 @@ type Table struct {
 	m      map[packet.FlowKey]entry
 	order  []packet.FlowKey // FIFO insertion order (may contain stale keys)
 	evicts uint64
+	gen    uint64 // bumped on every map mutation (see Generation)
 }
 
 // New builds a table holding at most capacity entries. ttl > 0 enables
@@ -45,6 +46,25 @@ func (t *Table) Len() int { return len(t.m) }
 // Evictions returns how many entries have been displaced by capacity.
 func (t *Table) Evictions() uint64 { return t.evicts }
 
+// Generation is a monotonic counter of map mutations: inserts, updates,
+// TTL expirations, removals and resets all bump it. Snapshot consumers
+// republish when it changes.
+func (t *Table) Generation() uint64 { return t.gen }
+
+// Snapshot returns a copy of the live flow->core overrides as of now.
+// Entries past their TTL are skipped but NOT deleted, so taking a
+// snapshot never mutates the table (expiry still happens on Get).
+func (t *Table) Snapshot(now sim.Time) map[packet.FlowKey]int {
+	out := make(map[packet.FlowKey]int, len(t.m))
+	for f, e := range t.m {
+		if t.ttl > 0 && now-e.added >= t.ttl {
+			continue
+		}
+		out[f] = e.core
+	}
+	return out
+}
+
 // Get returns the override core for f, honouring TTL expiry.
 func (t *Table) Get(f packet.FlowKey, now sim.Time) (int, bool) {
 	e, ok := t.m[f]
@@ -53,6 +73,7 @@ func (t *Table) Get(f packet.FlowKey, now sim.Time) (int, bool) {
 	}
 	if t.ttl > 0 && now-e.added >= t.ttl {
 		delete(t.m, f)
+		t.gen++
 		return 0, false
 	}
 	return e.core, true
@@ -62,6 +83,7 @@ func (t *Table) Get(f packet.FlowKey, now sim.Time) (int, bool) {
 // flow updates it in place (refreshing its TTL) without consuming a new
 // FIFO slot.
 func (t *Table) Put(f packet.FlowKey, core int, now sim.Time) {
+	t.gen++
 	if _, ok := t.m[f]; ok {
 		t.m[f] = entry{core: core, added: now}
 		return
@@ -82,6 +104,7 @@ func (t *Table) evictOldest() {
 		if _, ok := t.m[f]; ok {
 			delete(t.m, f)
 			t.evicts++
+			t.gen++
 			return
 		}
 	}
@@ -90,6 +113,7 @@ func (t *Table) evictOldest() {
 	for f := range t.m {
 		delete(t.m, f)
 		t.evicts++
+		t.gen++
 		return
 	}
 }
@@ -100,6 +124,7 @@ func (t *Table) Remove(f packet.FlowKey) bool {
 		return false
 	}
 	delete(t.m, f)
+	t.gen++
 	return true
 }
 
@@ -111,6 +136,7 @@ func (t *Table) RemoveCore(core int) int {
 	for f, e := range t.m {
 		if e.core == core {
 			delete(t.m, f)
+			t.gen++
 			n++
 		}
 	}
@@ -121,4 +147,5 @@ func (t *Table) RemoveCore(core int) int {
 func (t *Table) Reset() {
 	t.m = make(map[packet.FlowKey]entry, t.cap)
 	t.order = t.order[:0]
+	t.gen++
 }

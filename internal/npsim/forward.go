@@ -1,0 +1,38 @@
+package npsim
+
+import (
+	"laps/internal/packet"
+	"laps/internal/sim"
+)
+
+// Forwarder resolves packets to cores against an immutable snapshot of a
+// scheduler's forwarding state. Implementations must be safe for
+// unsynchronised concurrent use from any number of goroutines and must
+// never mutate shared state: this is the contract that lets the live
+// runtime's dispatcher shards consult the current snapshot with zero
+// locks while the control plane keeps evolving the scheduler behind an
+// atomic pointer swap.
+type Forwarder interface {
+	// Forward returns the core for p using only the snapshot's state.
+	// Unlike Scheduler.Target it takes no View and has no side effects:
+	// load-imbalance reactions (migrations, core steals) happen on the
+	// control plane and surface here only through the next snapshot.
+	Forward(p *packet.Packet) int
+}
+
+// SnapshotProvider is implemented by schedulers whose per-packet
+// decision path can be extracted into an immutable Forwarder — the
+// data-plane/control-plane split of the paper's LAPS hardware design,
+// where the lookup tables are a fast read path updated by a slow
+// control processor.
+type SnapshotProvider interface {
+	Scheduler
+	// Generation is a monotonically non-decreasing counter bumped on
+	// every mutation of forwarding-relevant state (map tables, migration
+	// tables). The control plane republishes a snapshot whenever it
+	// observes a change.
+	Generation() uint64
+	// Snapshot captures the current forwarding state as of time now
+	// (used to honour migration-entry TTLs without mutating the tables).
+	Snapshot(now sim.Time) Forwarder
+}

@@ -78,27 +78,32 @@ const (
 	// resident flows remapped to live workers. Core = the dead worker,
 	// Val = packets re-injected.
 	EvRecovery
+	// EvSnapshotPublish: the control plane published a fresh forwarding
+	// view for the dispatcher shards. Val = the scheduler generation the
+	// view was built from.
+	EvSnapshotPublish
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	EvFlowMigration: "migration",
-	EvMapSplit:      "map-split",
-	EvMapMerge:      "map-merge",
-	EvCoreSteal:     "core-steal",
-	EvCorePark:      "core-park",
-	EvCoreReturn:    "core-return",
-	EvSurplusMark:   "surplus-mark",
-	EvSurplusUnmark: "surplus-unmark",
-	EvAFCPromote:    "afc-promote",
-	EvAFCDemote:     "afc-demote",
-	EvAFCInvalidate: "afc-invalidate",
-	EvOOODepart:     "ooo-depart",
-	EvDrop:          "drop",
-	EvWorkerStall:   "worker-stall",
-	EvWorkerDead:    "worker-dead",
-	EvRecovery:      "recovery",
+	EvFlowMigration:   "migration",
+	EvMapSplit:        "map-split",
+	EvMapMerge:        "map-merge",
+	EvCoreSteal:       "core-steal",
+	EvCorePark:        "core-park",
+	EvCoreReturn:      "core-return",
+	EvSurplusMark:     "surplus-mark",
+	EvSurplusUnmark:   "surplus-unmark",
+	EvAFCPromote:      "afc-promote",
+	EvAFCDemote:       "afc-demote",
+	EvAFCInvalidate:   "afc-invalidate",
+	EvOOODepart:       "ooo-depart",
+	EvDrop:            "drop",
+	EvWorkerStall:     "worker-stall",
+	EvWorkerDead:      "worker-dead",
+	EvRecovery:        "recovery",
+	EvSnapshotPublish: "snapshot-publish",
 }
 
 // String names the kind as it appears in exported traces.

@@ -98,6 +98,68 @@ func BenchmarkThroughputSleep(b *testing.B) {
 	}
 }
 
+// runShardedBench pushes b.N packets through a fresh sharded engine and
+// reports pps, mirroring runBench for the snapshot data plane.
+func runShardedBench(b *testing.B, cfg Config, services int) {
+	pkts := benchPackets(b.N, services, 1)
+	e, err := NewSharded(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	e.Start(context.Background())
+	for _, p := range pkts {
+		e.Ingest(p)
+	}
+	res := e.Stop()
+	b.StopTimer()
+	if res.Processed+res.Dropped != res.Dispatched {
+		b.Fatalf("conservation violated: %+v", res)
+	}
+	b.ReportMetric(float64(res.Processed)/res.Elapsed.Seconds(), "pps")
+	b.ReportMetric(float64(res.Dropped)/float64(res.Dispatched+1), "droprate")
+}
+
+// BenchmarkShardedDispatch measures the lock-free snapshot-resolution
+// path: CRC shard selection, atomic view load, Forward() against frozen
+// map/migration tables, per-shard fencing — no emulated work. The
+// dispatchers sweep is the headline multi-shard scaling experiment;
+// on hosts with one physical CPU the shards time-share and the sweep is
+// flat-to-negative (extra goroutine hops), so read it together with the
+// GOMAXPROCS notes in BENCH_runtime.json.
+func BenchmarkShardedDispatch(b *testing.B) {
+	for _, disp := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("dispatchers=%d", disp), func(b *testing.B) {
+			l := core.New(core.Config{
+				TotalCores: 4, Services: 2, AFD: afd.Config{Seed: 1},
+			})
+			runShardedBench(b, Config{
+				Workers: 4, RingCap: 1024, Batch: 64, Dispatchers: disp,
+				Sched: l, Policy: BlockWhenFull,
+			}, 2)
+		})
+	}
+}
+
+// BenchmarkShardedThroughputSleep sweeps dispatcher shards under
+// latency-bound work: the workers' sleeps dominate, so this pins that
+// sharding the ingress adds no throughput tax when the data plane is
+// not the bottleneck.
+func BenchmarkShardedThroughputSleep(b *testing.B) {
+	for _, disp := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("dispatchers=%d", disp), func(b *testing.B) {
+			l := core.New(core.Config{
+				TotalCores: 4, Services: 2, AFD: afd.Config{Seed: 1},
+			})
+			runShardedBench(b, Config{
+				Workers: 4, RingCap: 256, Batch: 32, Dispatchers: disp,
+				Sched: l, Policy: BlockWhenFull,
+				Work: WorkSleep, WorkFactor: 4,
+			}, 2)
+		})
+	}
+}
+
 // BenchmarkThroughputSpin emulates CPU-bound packet work; scaling here
 // tracks physical cores (GOMAXPROCS), so on a one-core machine the
 // sleep variant is the scaling witness and this one bounds the

@@ -88,6 +88,25 @@ type Config struct {
 	// Faults, when non-nil, injects deterministic worker faults
 	// (stall / slow / kill) at batch boundaries. See FaultPlan.
 	Faults *FaultPlan
+	// Dispatchers selects the sharded data plane: N >= 1 ingress shards
+	// partition flows by CRC16 over the 5-tuple and resolve packet→worker
+	// lock-free against the control plane's current ForwardingView
+	// snapshot. Consumed by NewSharded; New (the legacy single-dispatcher
+	// engine, where the scheduler runs inline on the dispatch path)
+	// rejects a non-zero value so the two modes cannot be mixed silently.
+	Dispatchers int
+	// IngressCap is each shard's ingress ring capacity (rounded up to a
+	// power of two); 0 means 4096. Sharded engine only.
+	IngressCap int
+	// SampleEvery decimates the flow/load observations each shard feeds
+	// the control plane: 1 in every SampleEvery packets is sampled; 0
+	// means 1 (every packet). Sharded engine only.
+	SampleEvery int
+	// FeedbackCap bounds each shard's observation channel to the control
+	// plane; when full, observations are dropped (counted in
+	// Result.FeedbackDropped) rather than backpressuring the data plane.
+	// 0 means 4096. Sharded engine only.
+	FeedbackCap int
 	// DetectWindow enables the health monitor on the dispatcher path: a
 	// worker holding backlog that makes no progress for this long is
 	// quarantined and its state recovered onto the surviving workers.
@@ -145,6 +164,11 @@ type Result struct {
 	// MaxDetect is the worst observed fault-to-quarantine latency. For a
 	// stall it is bounded below by DetectWindow by construction.
 	MaxDetect time.Duration
+
+	// Sharded-engine accounting (zero under the legacy engine).
+	Snapshots       uint64 // forwarding-view publishes by the control plane
+	FeedbackDropped uint64 // sampled observations lost to full feedback channels
+	Dispatchers     int    // ingress shards the run used (0 = legacy engine)
 }
 
 // routing outcome of one fence resolution (see DispatchTo).
@@ -218,6 +242,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Sched == nil {
 		return nil, fmt.Errorf("runtime: Config.Sched is required")
 	}
+	if cfg.Dispatchers > 0 {
+		return nil, fmt.Errorf("runtime: Config.Dispatchers=%d needs the sharded engine; use NewSharded", cfg.Dispatchers)
+	}
 	if cfg.RingCap <= 0 {
 		cfg.RingCap = 256
 	}
@@ -259,7 +286,8 @@ func New(cfg Config) (*Engine, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
 			id:         i,
-			ring:       NewRing(cfg.RingCap),
+			rings:      []*Ring{NewRing(cfg.RingCap)},
+			retired:    make([]atomic.Uint64, 1),
 			tracker:    e.tracker,
 			now:        e.Now,
 			work:       cfg.Work,
@@ -310,13 +338,13 @@ func (e *Engine) NumCores() int { return len(e.workers) }
 // renumbering them.
 func (e *Engine) QueueLen(c int) int {
 	if e.dead[c] {
-		return e.workers[c].ring.Cap()
+		return e.workers[c].rings[0].Cap()
 	}
 	return e.workers[c].queueLen() + len(e.staged[c])
 }
 
 // QueueCap returns the per-worker ring capacity.
-func (e *Engine) QueueCap() int { return e.workers[0].ring.Cap() }
+func (e *Engine) QueueCap() int { return e.workers[0].rings[0].Cap() }
 
 // IdleFor returns how long worker c has been out of work. A quarantined
 // worker is never idle (it must not attract work or donate itself).
@@ -480,7 +508,7 @@ func (e *Engine) countDrop(p *packet.Packet, w int) {
 	if e.rec != nil {
 		e.rec.Emit(obs.Event{Kind: obs.EvDrop, Service: int16(p.Service),
 			Core: int32(w), Core2: -1, Flow: p.Flow,
-			Val: int64(e.workers[w].ring.Len() + len(e.staged[w]))})
+			Val: int64(e.workers[w].rings[0].Len() + len(e.staged[w]))})
 	}
 }
 
@@ -497,7 +525,7 @@ func (e *Engine) push(p *packet.Packet, w int) (bool, bool) {
 	if e.dead[w] || wk.state.Load() == wsDead {
 		return false, true
 	}
-	for wk.ring.Len()+len(e.staged[w]) >= wk.ring.Cap() {
+	for wk.rings[0].Len()+len(e.staged[w]) >= wk.rings[0].Cap() {
 		if e.cfg.Policy == DropWhenFull || e.ctx.Err() != nil {
 			e.countDrop(p, w)
 			return false, false
@@ -528,7 +556,7 @@ func (e *Engine) flushWorker(w int) {
 	if len(s) == 0 {
 		return
 	}
-	n := e.workers[w].ring.PushBatch(s)
+	n := e.workers[w].rings[0].PushBatch(s)
 	if n != len(s) {
 		panic(fmt.Sprintf("runtime: ring %d rejected %d staged packets", w, len(s)-n))
 	}
@@ -668,7 +696,7 @@ func (e *Engine) recoverWorker(i int) {
 	if w.seize() {
 		buf := make([]*packet.Packet, e.cfg.Batch)
 		for {
-			n := w.ring.PopBatch(buf)
+			n := w.rings[0].PopBatch(buf)
 			if n == 0 {
 				break
 			}
@@ -763,7 +791,7 @@ func (e *Engine) Stop() *Result {
 	}
 	e.Flush()
 	for _, w := range e.workers {
-		w.ring.Close()
+		w.rings[0].Close()
 	}
 	e.wg.Wait()
 	elapsed := time.Since(e.runStart)
@@ -771,7 +799,7 @@ func (e *Engine) Stop() *Result {
 	// worker died too late (or was undrainable) and every survivor has
 	// exited. Count it as dropped so conservation holds.
 	for i, w := range e.workers {
-		s := uint64(w.ring.Len()) + uint64(len(e.staged[i]))
+		s := uint64(w.rings[0].Len()) + uint64(len(e.staged[i]))
 		if s > 0 {
 			e.stranded += s
 			e.dropped.Add(s)

@@ -1,0 +1,1021 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"laps/internal/crc"
+	"laps/internal/npsim"
+	"laps/internal/obs"
+	"laps/internal/packet"
+	"laps/internal/sim"
+)
+
+// This file is the sharded data plane: the runtime's answer to the
+// paper's hardware split between a line-rate lookup path and a slow
+// control processor that rewrites the lookup tables.
+//
+// Topology: one ingress goroutine (the caller of Ingest) feeds N shard
+// goroutines through per-shard SPSC ingress rings, partitioning flows
+// by CRC16 over the 5-tuple — the same hash the map tables use — so a
+// flow's packets always traverse the same shard in arrival order.
+// Each shard resolves packet→worker with zero locks against an
+// immutable ForwardingView published through an atomic pointer, and
+// owns a private SPSC ring into every worker: the full data plane is a
+// lock-free N×W crossbar of single-producer/single-consumer rings.
+//
+// The control plane is one goroutine that owns the real scheduler. It
+// consumes sampled flow observations from bounded per-shard feedback
+// channels (never blocking the shards), runs the scheduler's full
+// logic — AFD updates, imbalance checks, steals, splits/merges — for
+// its side effects, and republishes a fresh snapshot whenever the
+// scheduler's generation counter moves. Staleness is therefore bounded
+// by one control-plane loop iteration plus however long the feedback
+// sample that triggers a mutation sits in its channel.
+//
+// Ordering: per-flow order is preserved by construction. A flow maps
+// to exactly one shard (flow-affine ingress), the shard enqueues its
+// packets into exactly one ring at a time, and the per-shard migration
+// fence — enqueue seq per (shard, worker) checked against the worker's
+// per-ring retired count — refuses to move the flow while any of its
+// packets are unretired on the old worker. Snapshot staleness can
+// delay a migration by one publish; it can never reorder a flow.
+type Sharded struct {
+	cfg     Config
+	workers []*worker
+	shards  []*shard
+
+	tracker *sharedTracker
+	rec     *obs.Recorder // CP-owned during the run; merged into at Stop
+	ingRec  *obs.Recorder // ingress-goroutine drop events
+	sp      npsim.SnapshotProvider
+
+	view     atomic.Pointer[dataPlaneView]
+	feedback []chan packet.Packet
+
+	start    time.Time
+	runStart time.Time
+	ctx      context.Context
+	wg       sync.WaitGroup // workers
+	swg      sync.WaitGroup // shards
+	cpStop   chan struct{}
+	cpDone   chan struct{}
+
+	dispatched   atomic.Uint64
+	ingressDrops atomic.Uint64
+	perWDrop     []atomic.Uint64
+
+	// Control-plane-goroutine-only state.
+	health    []workerHealth
+	liveIdx   []int
+	mon       *healthMon
+	pubGen    uint64
+	snapshots uint64
+	stalls    uint64
+	deaths    uint64
+	maxDetect time.Duration
+	// scanEpoch counts completed health scans; shards wait on it at
+	// shutdown so a death that precedes ingress close is always
+	// quarantined (and drained) before the shards exit.
+	scanEpoch atomic.Uint64
+
+	sampler     *obs.Sampler
+	samplerStop chan struct{}
+	samplerDone chan struct{}
+
+	started, stopped bool
+}
+
+// workerHealth is the control plane's verdict on a worker, carried in
+// every published view so the shards act on a consistent picture.
+type workerHealth uint8
+
+const (
+	// whAlive: route to it normally.
+	whAlive workerHealth = iota
+	// whSeized: quarantined and drainable — each shard must drain its
+	// own ring into live workers (in order) when it observes this state.
+	whSeized
+	// whWedged: quarantined but seizure failed (wedged mid-batch); its
+	// backlog is unrecoverable and fences against it are force-released.
+	whWedged
+)
+
+// dataPlaneView is what the control plane publishes: the scheduler's
+// forwarding snapshot plus the worker-health picture the shards route
+// against. Immutable after publish.
+type dataPlaneView struct {
+	fwd    npsim.Forwarder
+	gen    uint64
+	health []workerHealth
+	live   []int // indices of whAlive workers
+}
+
+// shard is one ingress partition: a goroutine draining its ingress
+// ring, resolving targets against the current view, and producing into
+// its private per-worker rings. All fields below the ring are touched
+// only by the shard goroutine (counters that samplers read are
+// atomics).
+type shard struct {
+	id int
+	e  *Sharded
+	in *Ring
+
+	staged   [][]*packet.Packet
+	enqSeq   []uint64 // per worker: packets handed over on this shard's rings
+	flows    map[packet.FlowKey]flowState
+	flowCap  int
+	sweepHld int
+	lastView *dataPlaneView
+	reaped   []bool // workers whose ring this shard has already drained
+	rec      *obs.Recorder
+
+	sampleEvery int
+	obsSkip     int
+
+	migrations atomic.Uint64
+	fenced     atomic.Uint64
+	dropped    atomic.Uint64
+
+	// Read only after the shard goroutine exits.
+	forced          uint64
+	reinjected      uint64
+	recovered       uint64
+	feedbackDropped uint64
+}
+
+// NewSharded validates cfg and builds the sharded engine (nothing
+// running yet). cfg.Sched must implement npsim.SnapshotProvider — the
+// data plane routes against snapshots, so a scheduler that cannot
+// publish one has no way onto this path.
+func NewSharded(cfg Config) (*Sharded, error) {
+	if cfg.Dispatchers < 1 {
+		return nil, fmt.Errorf("runtime: sharded engine needs Dispatchers >= 1, got %d", cfg.Dispatchers)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("runtime: need at least one worker, got %d", cfg.Workers)
+	}
+	if cfg.Sched == nil {
+		return nil, fmt.Errorf("runtime: Config.Sched is required")
+	}
+	sp, ok := cfg.Sched.(npsim.SnapshotProvider)
+	if !ok {
+		return nil, fmt.Errorf("runtime: scheduler %q cannot publish forwarding snapshots (no npsim.SnapshotProvider); Dispatchers>0 requires one", cfg.Sched.Name())
+	}
+	if cfg.RingCap <= 0 {
+		cfg.RingCap = 256
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+	if cfg.WorkFactor == 0 {
+		cfg.WorkFactor = 1
+	}
+	if cfg.FlowStateCap <= 0 {
+		cfg.FlowStateCap = 1 << 20
+	}
+	if cfg.IngressCap <= 0 {
+		cfg.IngressCap = 4096
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 1
+	}
+	if cfg.FeedbackCap <= 0 {
+		cfg.FeedbackCap = 4096
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.validate(cfg.Workers); err != nil {
+			return nil, err
+		}
+	}
+	var zero [packet.NumServices]npsim.ServiceDef
+	if cfg.Services == zero {
+		cfg.Services = npsim.DefaultServices()
+	}
+	n := cfg.Dispatchers
+	e := &Sharded{
+		cfg:      cfg,
+		sp:       sp,
+		tracker:  newSharedTracker(cfg.ReorderCap),
+		rec:      cfg.Recorder,
+		perWDrop: make([]atomic.Uint64, cfg.Workers),
+		health:   make([]workerHealth, cfg.Workers),
+		feedback: make([]chan packet.Packet, n),
+		start:    time.Now(),
+	}
+	if e.rec != nil {
+		e.rec.SetClock(e.Now)
+		e.ingRec = obs.NewRecorder(obs.DefaultRingCap / (n + 1))
+		e.ingRec.SetClock(e.Now)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			id:         i,
+			rings:      make([]*Ring, n),
+			retired:    make([]atomic.Uint64, n),
+			tracker:    e.tracker,
+			now:        e.Now,
+			work:       cfg.Work,
+			workFactor: cfg.WorkFactor,
+			services:   cfg.Services,
+			handler:    cfg.Handler,
+		}
+		for s := 0; s < n; s++ {
+			w.rings[s] = NewRing(cfg.RingCap)
+		}
+		w.idleSince.Store(0)
+		if cfg.Faults != nil {
+			w.faults = cfg.Faults.forWorker(i)
+		}
+		if e.rec != nil {
+			w.rec = obs.NewRecorder(obs.DefaultRingCap / cfg.Workers)
+			w.rec.SetClock(e.Now)
+		}
+		e.workers = append(e.workers, w)
+		e.liveIdx = append(e.liveIdx, i)
+	}
+	for s := 0; s < n; s++ {
+		sh := &shard{
+			id:          s,
+			e:           e,
+			in:          NewRing(cfg.IngressCap),
+			enqSeq:      make([]uint64, cfg.Workers),
+			flows:       make(map[packet.FlowKey]flowState, 1<<12),
+			flowCap:     cfg.FlowStateCap/n + 1,
+			reaped:      make([]bool, cfg.Workers),
+			sampleEvery: cfg.SampleEvery,
+		}
+		for w := 0; w < cfg.Workers; w++ {
+			sh.staged = append(sh.staged, make([]*packet.Packet, 0, cfg.Batch))
+		}
+		if e.rec != nil {
+			sh.rec = obs.NewRecorder(obs.DefaultRingCap / (n + 1))
+			sh.rec.SetClock(e.Now)
+		}
+		e.shards = append(e.shards, sh)
+		e.feedback[s] = make(chan packet.Packet, cfg.FeedbackCap)
+	}
+	if cfg.DetectWindow > 0 {
+		e.mon = &healthMon{
+			window:   cfg.DetectWindow,
+			lastProc: make([]uint64, cfg.Workers),
+			lastBeat: make([]time.Time, cfg.Workers),
+		}
+	}
+	return e, nil
+}
+
+// Now is the runtime clock: nanoseconds since NewSharded.
+func (e *Sharded) Now() sim.Time {
+	return sim.Time(time.Since(e.start).Nanoseconds())
+}
+
+// --- npsim.View (consulted by the scheduler on the control plane) ---
+
+// NumCores returns the worker count.
+func (e *Sharded) NumCores() int { return len(e.workers) }
+
+// QueueLen returns worker c's drainable backlog: ring occupancy across
+// every shard's ring plus in-service packets. Shard-local stage buffers
+// are invisible here (they are private to each shard goroutine), so the
+// view can under-read by at most Dispatchers×Batch packets — the same
+// order of error a hardware scheduler has against in-flight DMA.
+// A quarantined worker reads as permanently full.
+func (e *Sharded) QueueLen(c int) int {
+	if e.health[c] != whAlive {
+		return e.QueueCap()
+	}
+	return e.workers[c].queueLen()
+}
+
+// QueueCap returns a worker's total buffering: per-shard ring capacity
+// times the shard count.
+func (e *Sharded) QueueCap() int {
+	return e.workers[0].rings[0].Cap() * len(e.shards)
+}
+
+// IdleFor returns how long worker c has been out of work; a quarantined
+// worker is never idle (it must not attract work or donate itself).
+func (e *Sharded) IdleFor(c int) sim.Time {
+	if e.health[c] != whAlive {
+		return 0
+	}
+	return e.workers[c].idleFor(e.Now())
+}
+
+// Start publishes the initial forwarding view and launches the workers,
+// the shards and the control plane (plus the metrics sampler when
+// configured). ctx cancellation makes blocking enqueues give up; the
+// run itself is ended by Stop.
+func (e *Sharded) Start(ctx context.Context) {
+	if e.started {
+		panic("runtime: Sharded engine started twice")
+	}
+	e.started = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+	e.runStart = time.Now()
+	if e.mon != nil {
+		for i := range e.mon.lastBeat {
+			e.mon.lastBeat[i] = e.runStart
+		}
+		e.mon.lastCheck = e.runStart
+	}
+	e.publish() // shards must never observe a nil view
+	for _, w := range e.workers {
+		w := w
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			w.run(e.cfg.Batch)
+		}()
+	}
+	for _, sh := range e.shards {
+		sh := sh
+		e.swg.Add(1)
+		go func() {
+			defer e.swg.Done()
+			sh.run()
+		}()
+	}
+	e.cpStop = make(chan struct{})
+	e.cpDone = make(chan struct{})
+	go e.controlPlane()
+	if e.cfg.MetricsInterval > 0 {
+		e.startShardedSampler()
+	}
+}
+
+// Ingest offers one packet to the data plane: the flow's CRC16 picks
+// the shard, preserving per-flow arrival order, and the packet is
+// enqueued on that shard's ingress ring. Reports whether the packet
+// was accepted (false = dropped at ingress under DropWhenFull or after
+// context cancellation). Must be called from a single goroutine.
+func (e *Sharded) Ingest(p *packet.Packet) bool {
+	e.dispatched.Add(1)
+	sh := e.shards[int(crc.FlowHash(p.Flow))%len(e.shards)]
+	for !sh.in.Push(p) {
+		if e.cfg.Policy == DropWhenFull || e.ctx.Err() != nil {
+			e.ingressDrops.Add(1)
+			if e.ingRec != nil {
+				e.ingRec.Emit(obs.Event{Kind: obs.EvDrop, Service: int16(p.Service),
+					Core: -1, Core2: -1, Flow: p.Flow, Val: int64(sh.in.Len())})
+			}
+			return false
+		}
+		time.Sleep(5 * time.Microsecond)
+	}
+	return true
+}
+
+// --- shard goroutine ---
+
+// run drains the ingress ring until it is closed and empty, resolving
+// every packet against the freshest published view.
+func (s *shard) run() {
+	batch := s.e.cfg.Batch
+	buf := make([]*packet.Packet, batch)
+	idleSpins := 0
+	for {
+		s.syncView()
+		n := s.in.PopBatch(buf)
+		if n == 0 {
+			if s.in.Closed() && s.in.Len() == 0 {
+				s.shutdown()
+				return
+			}
+			// Publish partial batches before idling so low-rate workers
+			// are not starved during arrival gaps.
+			s.flushAll()
+			idleSpins++
+			switch {
+			case idleSpins < 16:
+				runtime.Gosched()
+			default:
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		idleSpins = 0
+		for i := 0; i < n; i++ {
+			s.dispatch(buf[i])
+			buf[i] = nil
+		}
+	}
+}
+
+// shutdown is the shard's exit protocol: deliver everything staged,
+// then wait out two full control-plane health scans (so any worker
+// that died before ingress closed is quarantined and drained while
+// this shard can still re-inject), and flush whatever recovery staged.
+func (s *shard) shutdown() {
+	s.flushAll()
+	target := s.e.scanEpoch.Load() + 2
+	for s.e.scanEpoch.Load() < target {
+		s.syncView()
+		time.Sleep(5 * time.Microsecond)
+	}
+	s.syncView()
+	s.flushAll()
+}
+
+// dispatch resolves and enqueues one packet. The resolution loop
+// re-runs whenever the world shifts underneath it — a target died, a
+// view change triggered recovery — so every decision lands on current
+// state, exactly like the legacy engine's DispatchTo.
+func (s *shard) dispatch(p *packet.Packet) {
+	s.observe(p)
+	for {
+		v := s.syncView()
+		t := v.fwd.Forward(p)
+		if t < 0 || t >= len(s.e.workers) {
+			panic(fmt.Sprintf("runtime: snapshot of %q forwarded to invalid worker %d", s.e.cfg.Sched.Name(), t))
+		}
+		if v.health[t] != whAlive {
+			nt := s.reroute(p.Flow, 0)
+			if nt < 0 {
+				s.countDrop(p, t) // no live worker reachable
+				return
+			}
+			t = nt
+		} else if s.e.workers[t].state.Load() == wsDead {
+			// Died since the last publish: the control plane scans for
+			// this continuously, so wait for it to quarantine and
+			// republish rather than routing into a dead ring.
+			runtime.Gosched()
+			continue
+		}
+		kind := routePlain
+		st, seen := s.flows[p.Flow]
+		if seen && int(st.core) != t {
+			old := int(st.core)
+			switch {
+			case s.e.cfg.DisableFencing || s.retiredOn(old) >= st.seq:
+				// The old worker retired every packet this shard gave it
+				// for this flow (or we were asked not to care): the
+				// switch is ordering-safe.
+				kind = routeMigrated
+			case v.health[old] == whAlive && s.e.workers[old].state.Load() == wsDead:
+				// Fenced to a worker that died undetected — wait for the
+				// control plane, whose republish triggers our drain.
+				runtime.Gosched()
+				continue
+			case v.health[old] != whAlive:
+				// Quarantined but this shard could not recover the
+				// flow's packets (wedged worker, undrainable ring).
+				// Holding the fence would wedge the flow too; release
+				// it, counted, accepting the bounded reordering risk.
+				kind = routeForced
+			default:
+				kind = routeFenced
+				t = old
+			}
+		}
+		ok, retry := s.push(p, t)
+		if retry {
+			continue
+		}
+		if !ok {
+			return
+		}
+		switch kind {
+		case routeMigrated:
+			s.migrations.Add(1)
+		case routeForced:
+			s.forced++
+			s.migrations.Add(1)
+		case routeFenced:
+			s.fenced.Add(1)
+		}
+		s.rememberFlow(p.Flow, t)
+		return
+	}
+}
+
+// observe feeds a (sampled) copy of the packet to the control plane,
+// never blocking: a full channel costs an observation, not latency.
+func (s *shard) observe(p *packet.Packet) {
+	if s.sampleEvery > 1 {
+		s.obsSkip++
+		if s.obsSkip < s.sampleEvery {
+			return
+		}
+		s.obsSkip = 0
+	}
+	select {
+	case s.e.feedback[s.id] <- *p:
+	default:
+		s.feedbackDropped++
+	}
+}
+
+// retiredOn is the per-shard fence signal: how many packets this shard
+// enqueued on worker w's ring have been fully retired.
+func (s *shard) retiredOn(w int) uint64 {
+	return s.e.workers[w].retired[s.id].Load()
+}
+
+// syncView loads the current view and, when it changed, runs the
+// recovery reactions the new view demands before returning. lastView
+// is advanced before reacting so re-entrant syncs (from push waits
+// inside a drain) see the newest view and never regress it.
+func (s *shard) syncView() *dataPlaneView {
+	v := s.e.view.Load()
+	if v != s.lastView {
+		s.lastView = v
+		s.onViewChange(v)
+	}
+	return s.lastView
+}
+
+// onViewChange reacts to newly-quarantined workers: for a seized one,
+// drain this shard's ring into live workers (oldest first, fences
+// re-pointed — see the ordering argument on Sharded); for a wedged
+// one, just stop producing (its staged packets stay stranded, fences
+// release lazily). reaped guards each worker against double drains
+// across nested syncs.
+func (s *shard) onViewChange(v *dataPlaneView) {
+	for w, h := range v.health {
+		if h == whAlive || s.reaped[w] {
+			continue
+		}
+		s.reaped[w] = true
+		if h != whSeized {
+			continue
+		}
+		var reinjected uint64
+		touched := make(map[packet.FlowKey]struct{})
+		buf := make([]*packet.Packet, s.e.cfg.Batch)
+		r := s.e.workers[w].rings[s.id]
+		for {
+			n := r.PopBatch(buf)
+			if n == 0 {
+				break
+			}
+			for j := 0; j < n; j++ {
+				if s.reinject(buf[j], touched) {
+					reinjected++
+				}
+				buf[j] = nil
+			}
+		}
+		for _, p := range s.staged[w] {
+			if s.reinject(p, touched) {
+				reinjected++
+			}
+		}
+		s.staged[w] = s.staged[w][:0]
+		// Entries still pointing at w were fully retired (everything
+		// unretired was just re-pointed by reinject): forget them.
+		retired := s.retiredOn(w)
+		for k, st := range s.flows {
+			if int(st.core) == w && retired >= st.seq {
+				delete(s.flows, k)
+			}
+		}
+		s.reinjected += reinjected
+		s.recovered += uint64(len(touched))
+		if s.rec != nil {
+			s.rec.Emit(obs.Event{Kind: obs.EvRecovery, Service: -1, Core: int32(w),
+				Core2: -1, Val: int64(reinjected)})
+		}
+	}
+}
+
+// reinject pushes one stranded packet onto a live worker, bypassing
+// the fence (ordering-safe: the drain delivers the flow's unretired
+// packets in enqueue order), and re-points the flow's fence at the new
+// home.
+func (s *shard) reinject(p *packet.Packet, touched map[packet.FlowKey]struct{}) bool {
+	for attempt := 0; ; attempt++ {
+		t := s.reroute(p.Flow, attempt)
+		if t < 0 {
+			s.dropped.Add(1)
+			return false
+		}
+		ok, retry := s.push(p, t)
+		if retry {
+			runtime.Gosched()
+			continue
+		}
+		if !ok {
+			return false
+		}
+		s.flows[p.Flow] = flowState{core: int32(t), seq: s.enqSeq[t]}
+		touched[p.Flow] = struct{}{}
+		return true
+	}
+}
+
+// reroute deterministically picks a live worker for a flow by hash,
+// skipping workers whose goroutines died but are not yet quarantined.
+// Returns -1 when none is reachable.
+func (s *shard) reroute(f packet.FlowKey, attempt int) int {
+	v := s.lastView
+	n := len(v.live)
+	if n == 0 {
+		return -1
+	}
+	h := int(crc.FlowHash(f)) + attempt
+	for i := 0; i < n; i++ {
+		c := v.live[(h+i)%n]
+		if s.e.workers[c].state.Load() != wsDead {
+			return c
+		}
+	}
+	return -1
+}
+
+// push stages p for worker w on this shard's ring, flushing when the
+// stage buffer fills. Same contract as the legacy engine's push:
+// (accepted, retry), where retry means the target died and the route
+// must be re-resolved.
+func (s *shard) push(p *packet.Packet, w int) (bool, bool) {
+	wk := s.e.workers[w]
+	if s.lastView.health[w] != whAlive || wk.state.Load() == wsDead {
+		return false, true
+	}
+	r := wk.rings[s.id]
+	for r.Len()+len(s.staged[w]) >= r.Cap() {
+		if s.e.cfg.Policy == DropWhenFull || s.e.ctx.Err() != nil {
+			s.countDrop(p, w)
+			return false, false
+		}
+		s.flushWorker(w)
+		s.syncView()
+		if s.lastView.health[w] != whAlive || wk.state.Load() == wsDead {
+			return false, true
+		}
+		time.Sleep(5 * time.Microsecond)
+	}
+	s.staged[w] = append(s.staged[w], p)
+	s.enqSeq[w]++
+	if len(s.staged[w]) >= s.e.cfg.Batch {
+		s.flushWorker(w)
+	}
+	return true, false
+}
+
+// flushWorker publishes worker w's staged packets into this shard's
+// ring. By construction (see push) the ring always has room.
+func (s *shard) flushWorker(w int) {
+	st := s.staged[w]
+	if len(st) == 0 {
+		return
+	}
+	n := s.e.workers[w].rings[s.id].PushBatch(st)
+	if n != len(st) {
+		panic(fmt.Sprintf("runtime: shard %d ring to worker %d rejected %d staged packets", s.id, w, len(st)-n))
+	}
+	s.staged[w] = st[:0]
+}
+
+// flushAll publishes every staged packet for live workers.
+func (s *shard) flushAll() {
+	for w := range s.staged {
+		if s.lastView.health[w] != whAlive {
+			continue
+		}
+		s.flushWorker(w)
+	}
+}
+
+// rememberFlow updates the flow's fence record, sweeping drained
+// entries when the table outgrows its per-shard cap (same amortisation
+// as the legacy engine's rememberFlow).
+func (s *shard) rememberFlow(f packet.FlowKey, target int) {
+	if _, ok := s.flows[f]; !ok && len(s.flows) >= s.flowCap {
+		if s.sweepHld > 0 {
+			s.sweepHld--
+		} else {
+			before := len(s.flows)
+			for k, st := range s.flows {
+				if s.retiredOn(int(st.core)) >= st.seq {
+					delete(s.flows, k)
+				}
+			}
+			if before-len(s.flows) < s.flowCap/64+1 {
+				s.sweepHld = s.flowCap / 16
+			}
+		}
+	}
+	s.flows[f] = flowState{core: int32(target), seq: s.enqSeq[target]}
+}
+
+// countDrop records one dropped packet bound for worker w.
+func (s *shard) countDrop(p *packet.Packet, w int) {
+	s.dropped.Add(1)
+	if w >= 0 && w < len(s.e.perWDrop) {
+		s.e.perWDrop[w].Add(1)
+	}
+	if s.rec != nil {
+		s.rec.Emit(obs.Event{Kind: obs.EvDrop, Service: int16(p.Service),
+			Core: int32(w), Core2: -1, Flow: p.Flow})
+	}
+}
+
+// --- control plane goroutine ---
+
+// controlPlane owns the scheduler: it drains the shards' observation
+// channels through the real scheduler (for its control side effects),
+// scans worker health, and republishes the forwarding view whenever
+// the scheduler's generation moves.
+func (e *Sharded) controlPlane() {
+	defer close(e.cpDone)
+	for {
+		select {
+		case <-e.cpStop:
+			return
+		default:
+		}
+		progress := false
+		for i := range e.feedback {
+		drain:
+			for k := 0; k < e.cfg.Batch; k++ {
+				select {
+				case pkt := <-e.feedback[i]:
+					// The returned target is deliberately discarded: the
+					// data plane routes only against published snapshots,
+					// so decisions take effect atomically and in bulk.
+					e.sp.Target(&pkt, e)
+					progress = true
+				default:
+					break drain
+				}
+			}
+		}
+		e.scanHealth()
+		if g := e.sp.Generation(); g != e.pubGen {
+			e.publish()
+			progress = true
+		}
+		if !progress {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// publish snapshots the scheduler and swaps in a fresh view.
+func (e *Sharded) publish() {
+	fw := e.sp.Snapshot(e.Now())
+	e.pubGen = e.sp.Generation()
+	v := &dataPlaneView{
+		fwd:    fw,
+		gen:    e.pubGen,
+		health: append([]workerHealth(nil), e.health...),
+		live:   append([]int(nil), e.liveIdx...),
+	}
+	e.view.Store(v)
+	e.snapshots++
+	if e.rec != nil {
+		e.rec.Emit(obs.Event{Kind: obs.EvSnapshotPublish, Service: -1, Core: -1,
+			Core2: -1, Val: int64(e.pubGen)})
+	}
+}
+
+// scanHealth runs the dead-worker scan on every control-plane loop and
+// the stall heuristic (when DetectWindow is set) at the legacy cadence
+// of at most ~8 checks per window. The last live worker is never
+// quarantined on the stall heuristic.
+func (e *Sharded) scanHealth() {
+	now := time.Now()
+	stallScan := e.mon != nil && now.Sub(e.mon.lastCheck) >= e.mon.window/8
+	if stallScan {
+		e.mon.lastCheck = now
+	}
+	for i, w := range e.workers {
+		if e.health[i] != whAlive {
+			continue
+		}
+		if w.state.Load() == wsDead {
+			e.quarantine(i)
+			continue
+		}
+		if !stallScan || len(e.liveIdx) <= 1 {
+			continue
+		}
+		p := w.processed.Load()
+		if p != e.mon.lastProc[i] || w.queueLen() == 0 {
+			e.mon.lastProc[i] = p
+			e.mon.lastBeat[i] = now
+			continue
+		}
+		if stalled := now.Sub(e.mon.lastBeat[i]); stalled >= e.mon.window {
+			e.stalls++
+			if e.rec != nil {
+				e.rec.Emit(obs.Event{Kind: obs.EvWorkerStall, Service: -1,
+					Core: int32(i), Core2: -1, Val: stalled.Nanoseconds()})
+			}
+			e.quarantine(i)
+		}
+	}
+	e.scanEpoch.Add(1)
+}
+
+// quarantine removes worker i from the live set, seizes its rings when
+// possible, and publishes the verdict — the shards do the actual
+// draining, each for its own ring, when they observe the new view.
+func (e *Sharded) quarantine(i int) {
+	w := e.workers[i]
+	if w.seize() {
+		e.health[i] = whSeized
+	} else {
+		e.health[i] = whWedged
+	}
+	e.deaths++
+	if fa := w.faultAt.Swap(0); fa > 0 {
+		if d := time.Duration(int64(e.Now()) - fa); d > e.maxDetect {
+			e.maxDetect = d
+		}
+	}
+	live := e.liveIdx[:0]
+	for j := range e.workers {
+		if e.health[j] == whAlive {
+			live = append(live, j)
+		}
+	}
+	e.liveIdx = live
+	if e.rec != nil {
+		e.rec.Emit(obs.Event{Kind: obs.EvWorkerDead, Service: -1, Core: int32(i),
+			Core2: -1, Val: int64(w.queueLen())})
+	}
+	e.publish()
+}
+
+// Stop closes ingress, waits for the shards to drain and exit, stops
+// the control plane, closes the worker rings, and collects the Result.
+// The engine cannot be restarted. The caller must have stopped calling
+// Ingest.
+func (e *Sharded) Stop() *Result {
+	if !e.started || e.stopped {
+		panic("runtime: Stop on a non-running sharded engine")
+	}
+	e.stopped = true
+	for _, sh := range e.shards {
+		sh.in.Close()
+	}
+	e.swg.Wait()
+	close(e.cpStop)
+	<-e.cpDone
+	for _, w := range e.workers {
+		for _, r := range w.rings {
+			r.Close()
+		}
+	}
+	e.wg.Wait()
+	elapsed := time.Since(e.runStart)
+
+	var stranded uint64
+	for i, w := range e.workers {
+		var s uint64
+		for _, r := range w.rings {
+			s += uint64(r.Len())
+		}
+		for _, sh := range e.shards {
+			s += uint64(len(sh.staged[i]))
+		}
+		if s > 0 {
+			stranded += s
+			e.perWDrop[i].Add(s)
+		}
+	}
+	if e.samplerStop != nil {
+		close(e.samplerStop)
+		<-e.samplerDone
+	}
+	e.mergeShardedEvents()
+
+	res := &Result{
+		Dispatched:   e.dispatched.Load(),
+		Dropped:      e.ingressDrops.Load() + stranded,
+		OutOfOrder:   e.tracker.outOfOrder(),
+		TrackedFlows: e.tracker.flows(),
+		EvictedFlows: e.tracker.evicted(),
+		Elapsed:      elapsed,
+		WorkerStalls: e.stalls,
+		WorkerDeaths: e.deaths,
+		Stranded:     stranded,
+		MaxDetect:    e.maxDetect,
+		Snapshots:    e.snapshots,
+		Dispatchers:  len(e.shards),
+	}
+	for _, sh := range e.shards {
+		res.Dropped += sh.dropped.Load()
+		res.Migrations += sh.migrations.Load()
+		res.Fenced += sh.fenced.Load()
+		res.Forced += sh.forced
+		res.Reinjected += sh.reinjected
+		res.Recovered += sh.recovered
+		res.FeedbackDropped += sh.feedbackDropped
+	}
+	for i, w := range e.workers {
+		res.Processed += w.processed.Load()
+		res.Workers = append(res.Workers, WorkerReport{
+			ID:         i,
+			Processed:  w.processed.Load(),
+			Dropped:    e.perWDrop[i].Load(),
+			OutOfOrder: w.ooo.Load(),
+			Batches:    w.batches.Load(),
+			Dead:       e.health[i] != whAlive,
+		})
+	}
+	if e.sampler != nil {
+		res.Series = e.sampler.Series()
+	}
+	return res
+}
+
+// mergeShardedEvents folds the worker, shard and ingress recorders'
+// events into the main recorder in timestamp order (same contract as
+// the legacy engine's mergeWorkerEvents).
+func (e *Sharded) mergeShardedEvents() {
+	if e.rec == nil {
+		return
+	}
+	var all []obs.Event
+	for _, w := range e.workers {
+		all = append(all, w.rec.Events()...)
+	}
+	for _, sh := range e.shards {
+		all = append(all, sh.rec.Events()...)
+	}
+	all = append(all, e.ingRec.Events()...)
+	if len(all) == 0 {
+		return
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].T < all[j].T })
+	e.rec.SetClock(nil)
+	for _, ev := range all {
+		e.rec.Emit(ev)
+	}
+	e.rec.SetClock(e.Now)
+}
+
+// startShardedSampler launches the wall-clock metrics goroutine.
+// Probes read only atomics.
+func (e *Sharded) startShardedSampler() {
+	probes := make([]obs.Probe, 0, 2*len(e.workers)+len(e.shards)+4)
+	for _, w := range e.workers {
+		w := w
+		probes = append(probes,
+			obs.Probe{Name: fmt.Sprintf("worker%d.q", w.id), Fn: func() float64 {
+				return float64(w.queueLen())
+			}},
+			obs.RateProbe(fmt.Sprintf("worker%d.pps", w.id), w.processed.Load, nil),
+		)
+	}
+	for _, sh := range e.shards {
+		sh := sh
+		probes = append(probes,
+			obs.Probe{Name: fmt.Sprintf("shard%d.in", sh.id), Fn: func() float64 {
+				return float64(sh.in.Len())
+			}})
+	}
+	probes = append(probes,
+		obs.RateProbe("dispatched", e.dispatched.Load, nil),
+		obs.RateProbe("drops", func() uint64 {
+			n := e.ingressDrops.Load()
+			for _, sh := range e.shards {
+				n += sh.dropped.Load()
+			}
+			return n
+		}, nil),
+		obs.RateProbe("ooo", func() uint64 {
+			var n uint64
+			for _, w := range e.workers {
+				n += w.ooo.Load()
+			}
+			return n
+		}, nil),
+		obs.RateProbe("fenced", func() uint64 {
+			var n uint64
+			for _, sh := range e.shards {
+				n += sh.fenced.Load()
+			}
+			return n
+		}, nil),
+	)
+	e.sampler = obs.NewSampler(sim.Time(e.cfg.MetricsInterval.Nanoseconds()), probes...)
+	e.samplerStop = make(chan struct{})
+	e.samplerDone = make(chan struct{})
+	go func() {
+		defer close(e.samplerDone)
+		tick := time.NewTicker(e.cfg.MetricsInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				e.sampler.Sample(e.Now())
+			case <-e.samplerStop:
+				return
+			}
+		}
+	}()
+}

@@ -51,15 +51,23 @@ const (
 // enough that progress stays visible to the health monitor.
 const slowBatchDelay = 50 * time.Microsecond
 
-// worker is one emulated core: a goroutine consuming an SPSC ring.
+// worker is one emulated core: a goroutine consuming one SPSC ring per
+// dispatcher shard. The legacy single-dispatcher Engine gives every
+// worker exactly one ring; the sharded engine gives it one ring per
+// ingress shard, so every (shard, worker) pair keeps a single producer
+// and a single consumer and the whole data plane stays lock-free.
 //
 // All cross-goroutine fields are atomics: the dispatcher reads
 // processed/inflight/idleSince to answer scheduler View queries and to
 // resolve migration fences; the sampler goroutine reads the counters
 // for time-series probes; the health monitor reads state and faultAt.
 type worker struct {
-	id   int
-	ring *Ring
+	id    int
+	rings []*Ring
+	// retired[s] counts packets from rings[s] fully retired here. It is
+	// the per-shard migration-fence signal: shard s may move a flow off
+	// this worker once retired[s] passes the flow's last enqueue seq.
+	retired []atomic.Uint64
 
 	processed atomic.Uint64 // packets fully retired
 	inflight  atomic.Int64  // popped from the ring but not yet retired
@@ -84,22 +92,34 @@ type worker struct {
 	slowUntil time.Time
 }
 
-// run is the worker goroutine body: drain batches until the ring is
-// closed and empty, or until a kill fault or a recovery seizure ends the
-// worker. Normal exits are graceful — the dispatcher closes the ring
-// after its last push, so no packet is stranded.
+// run is the worker goroutine body: sweep the rings, draining one batch
+// from each per active window, until every ring is closed and empty, or
+// until a kill fault or a recovery seizure ends the worker. Normal exits
+// are graceful — each producer closes its ring after its last push, so
+// no packet is stranded.
 func (w *worker) run(batch int) {
 	buf := make([]*packet.Packet, batch)
 	idleSpins := 0
 	for {
 		if !w.state.CompareAndSwap(wsIdle, wsActive) {
-			// Recovery seized the ring while we were parked or stalled:
-			// it now owns the consumer side. Exit without touching it.
+			// Recovery seized the rings while we were parked or stalled:
+			// it now owns the consumer side. Exit without touching them.
 			return
 		}
-		n := w.ring.PopBatch(buf)
-		if n == 0 {
-			if w.ring.Closed() && w.ring.Len() == 0 {
+		got, closedEmpty := 0, 0
+		for s, r := range w.rings {
+			n := r.PopBatch(buf)
+			if n == 0 {
+				if r.Closed() && r.Len() == 0 {
+					closedEmpty++
+				}
+				continue
+			}
+			got += n
+			w.consume(s, buf, n)
+		}
+		if got == 0 {
+			if closedEmpty == len(w.rings) {
 				w.state.Store(wsDead)
 				return
 			}
@@ -123,49 +143,55 @@ func (w *worker) run(batch int) {
 			continue
 		}
 		idleSpins = 0
-		w.idleSince.Store(-1)
-		w.inflight.Store(int64(n))
-		w.batches.Add(1)
-		if !w.slowUntil.IsZero() && time.Now().Before(w.slowUntil) {
-			time.Sleep(slowBatchDelay)
-		}
-		if w.work == WorkSleep {
-			// The batch's emulated service time must elapse BEFORE any
-			// packet is retired: departure order and the migration fence
-			// both key on the retired count, so retiring first would let
-			// a fence clear (and QueueLen read zero) while the modeled
-			// work is still pending.
-			var modeled sim.Time
-			for i := 0; i < n; i++ {
-				modeled += w.services[buf[i].Service].ProcTime(buf[i].Size)
-			}
-			if modeled > 0 {
-				time.Sleep(time.Duration(float64(modeled) * w.workFactor))
-			}
-		}
-		for i := 0; i < n; i++ {
-			p := buf[i]
-			buf[i] = nil
-			if w.work == WorkSpin {
-				w.spin(time.Duration(float64(w.services[p.Service].ProcTime(p.Size)) * w.workFactor))
-			}
-			if w.handler != nil {
-				w.handler(w.id, p)
-			}
-			if w.tracker.record(p) {
-				w.ooo.Add(1)
-				if w.rec != nil {
-					w.rec.Emit(obs.Event{Kind: obs.EvOOODepart, Service: int16(p.Service),
-						Core: int32(w.id), Core2: -1, Flow: p.Flow, Val: int64(p.FlowSeq)})
-				}
-			}
-			w.inflight.Add(-1)
-			w.processed.Add(1)
-		}
 		w.state.Store(wsIdle)
 		if w.applyFault() {
 			return
 		}
+	}
+}
+
+// consume retires one batch popped from rings[src]. Runs only on the
+// worker goroutine, inside a wsActive window.
+func (w *worker) consume(src int, buf []*packet.Packet, n int) {
+	w.idleSince.Store(-1)
+	w.inflight.Store(int64(n))
+	w.batches.Add(1)
+	if !w.slowUntil.IsZero() && time.Now().Before(w.slowUntil) {
+		time.Sleep(slowBatchDelay)
+	}
+	if w.work == WorkSleep {
+		// The batch's emulated service time must elapse BEFORE any
+		// packet is retired: departure order and the migration fence
+		// both key on the retired count, so retiring first would let
+		// a fence clear (and QueueLen read zero) while the modeled
+		// work is still pending.
+		var modeled sim.Time
+		for i := 0; i < n; i++ {
+			modeled += w.services[buf[i].Service].ProcTime(buf[i].Size)
+		}
+		if modeled > 0 {
+			time.Sleep(time.Duration(float64(modeled) * w.workFactor))
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := buf[i]
+		buf[i] = nil
+		if w.work == WorkSpin {
+			w.spin(time.Duration(float64(w.services[p.Service].ProcTime(p.Size)) * w.workFactor))
+		}
+		if w.handler != nil {
+			w.handler(w.id, p)
+		}
+		if w.tracker.record(p) {
+			w.ooo.Add(1)
+			if w.rec != nil {
+				w.rec.Emit(obs.Event{Kind: obs.EvOOODepart, Service: int16(p.Service),
+					Core: int32(w.id), Core2: -1, Flow: p.Flow, Val: int64(p.FlowSeq)})
+			}
+		}
+		w.inflight.Add(-1)
+		w.retired[src].Add(1)
+		w.processed.Add(1)
 	}
 }
 
@@ -197,10 +223,11 @@ func (w *worker) applyFault() bool {
 	return false
 }
 
-// seize takes the ring's consumer role away from the worker so the
-// dispatcher can drain it. It succeeds when the worker is parked
-// (wsIdle — including mid-stall) or already dead; it fails for a worker
-// wedged mid-batch (wsActive), which recovery must then leave alone.
+// seize takes the rings' consumer role away from the worker so the
+// dispatcher (or, in sharded mode, each shard for its own ring) can
+// drain them. It succeeds when the worker is parked (wsIdle — including
+// mid-stall) or already dead; it fails for a worker wedged mid-batch
+// (wsActive), which recovery must then leave alone.
 func (w *worker) seize() bool {
 	for i := 0; i < 1024; i++ {
 		if w.state.CompareAndSwap(wsIdle, wsDead) || w.state.Load() == wsDead {
@@ -227,7 +254,10 @@ func (w *worker) spin(d time.Duration) {
 // service" slot npsim counts the same way). A WorkSleep batch counts as
 // in-service for its whole emulated duration.
 func (w *worker) queueLen() int {
-	n := w.ring.Len() + int(w.inflight.Load())
+	n := int(w.inflight.Load())
+	for _, r := range w.rings {
+		n += r.Len()
+	}
 	if n < 0 {
 		n = 0
 	}

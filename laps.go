@@ -134,6 +134,12 @@ const (
 	EvAFCInvalidate = obs.EvAFCInvalidate
 	EvOOODepart     = obs.EvOOODepart
 	EvDrop          = obs.EvDrop
+	// Live-runtime fault events (docs/RUNTIME.md).
+	EvWorkerStall = obs.EvWorkerStall
+	EvWorkerDead  = obs.EvWorkerDead
+	EvRecovery    = obs.EvRecovery
+	// Sharded data-plane events (Dispatchers > 0).
+	EvSnapshotPublish = obs.EvSnapshotPublish
 )
 
 // NewRecorder builds a telemetry recorder holding up to capacity events
@@ -236,33 +242,49 @@ type ServiceTraffic struct {
 	Trace   TraceSource
 }
 
-// SimConfig describes a custom simulation for Simulate.
-type SimConfig struct {
-	// Cores is the processor size; 0 means 16 (Table III).
-	Cores int
-	// QueueCap is the per-core descriptor queue; 0 means 32.
-	QueueCap int
+// StackConfig is the scheduler-and-traffic vocabulary shared by both
+// execution engines. SimConfig (the discrete-event simulator) and
+// RunConfig (the live goroutine runtime) embed it, so the two entry
+// points consume identical knobs and cannot drift: a Simulate and a
+// Run built from the same StackConfig see the same scheduler state and
+// the exact same packet sequence.
+type StackConfig struct {
 	// Scheduler picks a built-in scheduler; ignored when Custom is set.
 	// Empty means LAPS.
 	Scheduler SchedulerKind
 	// Custom plugs in any CoreScheduler implementation.
 	Custom CoreScheduler
-	// Traffic lists the offered load per service (at least one entry).
-	Traffic []ServiceTraffic
-	// Duration is the traffic window; 0 means 50 ms.
-	Duration Time
-	// TimeCompression maps sim seconds to rate-model seconds; 0 means 1.
-	TimeCompression float64
-	// CBRArrivals uses paced (±50% jitter) instead of Poisson arrivals.
-	CBRArrivals bool
 	// Consolidate enables LAPS's power-aware core parking: calm
 	// services fold their traffic onto fewer cores so the rest idle in
 	// long, gateable blocks (companion-work behaviour, paper refs
 	// [20],[29]). Only meaningful with Scheduler == LAPS.
 	Consolidate bool
+	// Traffic lists the offered load per service (at least one entry).
+	Traffic []ServiceTraffic
+	// Duration is the traffic window in virtual time; 0 means 50 ms.
+	Duration Time
+	// TimeCompression maps virtual seconds to rate-model seconds; 0
+	// means 1.
+	TimeCompression float64
+	// CBRArrivals uses paced (±50% jitter) instead of Poisson arrivals.
+	CBRArrivals bool
+	// Seed drives all randomness (arrivals and the scheduler's AFD);
+	// 0 means 1.
+	Seed uint64
+}
+
+// SimConfig describes a custom simulation for Simulate. The embedded
+// StackConfig carries the scheduler/traffic knobs shared with Run.
+type SimConfig struct {
+	StackConfig
+
+	// Cores is the processor size; 0 means 16 (Table III).
+	Cores int
+	// QueueCap is the per-core descriptor queue; 0 means 32.
+	QueueCap int
 	// RestoreOrder attaches an egress re-order buffer (order
 	// *restoration*, the alternative the paper contrasts in related
-	// work [35]) and reports its cost in Result.Restored.
+	// work [35]) and reports its cost in SimResult.Restored.
 	RestoreOrder bool
 	// Trace, when non-nil, records control-plane telemetry events
 	// (flow migrations, map splits/merges, core steals, AFC activity,
@@ -272,14 +294,12 @@ type SimConfig struct {
 	// MetricsInterval, when positive, samples per-core queue depths,
 	// drop and reordering rates — plus per-service core counts and AFD
 	// hit rates under LAPS — every interval of simulated time into
-	// Result.Series.
+	// SimResult.Series.
 	MetricsInterval Time
-	// Seed drives all randomness; 0 means 1.
-	Seed uint64
 }
 
-// Result is the outcome of Simulate.
-type Result struct {
+// SimResult is the outcome of Simulate.
+type SimResult struct {
 	// Metrics are the simulator's aggregate counters.
 	Metrics Metrics
 	// Generated is the number of packets offered.
@@ -300,6 +320,13 @@ type Result struct {
 	// telemetry time series (WriteCSV renders it).
 	Series *Series
 }
+
+// Result is the former name of SimResult.
+//
+// Deprecated: use SimResult. The alias resolves the historical
+// collision between this type, RunResult and RunStats (three unrelated
+// "result" names); it will be removed in a future release.
+type Result = SimResult
 
 // RestoredOrder reports what egress order restoration cost and achieved.
 type RestoredOrder struct {
@@ -322,6 +349,9 @@ func trafficProfile(tr []ServiceTraffic) (services int, active map[ServiceID]boo
 		}
 		if t.Trace == nil {
 			return 0, nil, fmt.Errorf("laps: service %v has no trace source", t.Service)
+		}
+		if active[t.Service] {
+			return 0, nil, fmt.Errorf("laps: duplicate Traffic entry for service %v; merge the two sources or use distinct service IDs", t.Service)
 		}
 		active[t.Service] = true
 	}
@@ -382,7 +412,7 @@ func buildScheduler(kind SchedulerKind, custom CoreScheduler, cores int, consoli
 
 // Simulate builds the full stack — traffic generator, scheduler,
 // processor model — runs it to completion and returns the metrics.
-func Simulate(cfg SimConfig) (*Result, error) {
+func Simulate(cfg SimConfig) (*SimResult, error) {
 	if cfg.Cores == 0 {
 		cfg.Cores = 16
 	}
@@ -459,7 +489,7 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		buf.Flush()
 	}
 
-	res := &Result{
+	res := &SimResult{
 		Metrics:   *sys.Metrics(),
 		Generated: gen.Generated(),
 		Duration:  cfg.Duration,
@@ -525,4 +555,39 @@ func (r *remapScheduler) Target(p *packet.Packet, v npsim.View) int {
 	q := *p
 	q.Service = r.remap[p.Service]
 	return r.inner.Target(&q, v)
+}
+
+// Generation forwards the wrapped scheduler's snapshot generation, so a
+// remapped LAPS still qualifies as an npsim.SnapshotProvider for the
+// sharded live data plane.
+func (r *remapScheduler) Generation() uint64 {
+	if sp, ok := r.inner.(npsim.SnapshotProvider); ok {
+		return sp.Generation()
+	}
+	return 0
+}
+
+// Snapshot wraps the inner scheduler's forwarding view so lookups see
+// remapped service IDs, mirroring what Target does on the live path.
+func (r *remapScheduler) Snapshot(now sim.Time) npsim.Forwarder {
+	sp, ok := r.inner.(npsim.SnapshotProvider)
+	if !ok {
+		return nil
+	}
+	return &remapForwarder{inner: sp.Snapshot(now), remap: r.remap}
+}
+
+// remapForwarder is the data-plane twin of remapScheduler: a frozen
+// forwarding view that remaps sparse service IDs before each lookup.
+type remapForwarder struct {
+	inner npsim.Forwarder
+	remap [packet.NumServices]ServiceID
+}
+
+// Forward resolves the packet against the wrapped view under its
+// compact service ID.
+func (r *remapForwarder) Forward(p *packet.Packet) int {
+	q := *p
+	q.Service = r.remap[p.Service]
+	return r.inner.Forward(&q)
 }

@@ -25,20 +25,22 @@ func TestSimulateRequiresTraffic(t *testing.T) {
 
 func TestSimulateRejectsBadService(t *testing.T) {
 	_, err := laps.Simulate(laps.SimConfig{
-		Traffic: []laps.ServiceTraffic{trafficFor(laps.ServiceID(7), 1, 1)},
+		StackConfig: laps.StackConfig{Traffic: []laps.ServiceTraffic{trafficFor(laps.ServiceID(7), 1, 1)}},
 	})
 	if err == nil {
 		t.Fatal("service ID 7 accepted")
 	}
 	_, err = laps.Simulate(laps.SimConfig{
-		Traffic: []laps.ServiceTraffic{{Service: laps.SvcIPForward}},
+		StackConfig: laps.StackConfig{Traffic: []laps.ServiceTraffic{{Service: laps.SvcIPForward}}},
 	})
 	if err == nil {
 		t.Fatal("nil trace accepted")
 	}
 	_, err = laps.Simulate(laps.SimConfig{
-		Scheduler: "bogus",
-		Traffic:   []laps.ServiceTraffic{trafficFor(laps.SvcIPForward, 1, 1)},
+		StackConfig: laps.StackConfig{
+			Scheduler: "bogus",
+			Traffic:   []laps.ServiceTraffic{trafficFor(laps.SvcIPForward, 1, 1)},
+		},
 	})
 	if err == nil {
 		t.Fatal("unknown scheduler accepted")
@@ -48,9 +50,11 @@ func TestSimulateRejectsBadService(t *testing.T) {
 func TestSimulateAllSchedulers(t *testing.T) {
 	for _, kind := range []laps.SchedulerKind{laps.LAPS, laps.FCFS, laps.AFS, laps.HashOnly, laps.Oracle} {
 		res, err := laps.Simulate(laps.SimConfig{
-			Scheduler: kind,
-			Duration:  2 * laps.Millisecond,
-			Traffic:   []laps.ServiceTraffic{trafficFor(laps.SvcIPForward, 2, 3)},
+			StackConfig: laps.StackConfig{
+				Scheduler: kind,
+				Duration:  2 * laps.Millisecond,
+				Traffic:   []laps.ServiceTraffic{trafficFor(laps.SvcIPForward, 2, 3)},
+			},
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
@@ -73,9 +77,11 @@ func TestSimulateAllSchedulers(t *testing.T) {
 
 func TestSimulateCustomScheduler(t *testing.T) {
 	res, err := laps.Simulate(laps.SimConfig{
-		Custom:   laps.NewOracleScheduler(4),
-		Duration: laps.Millisecond,
-		Traffic:  []laps.ServiceTraffic{trafficFor(laps.SvcIPForward, 1, 1)},
+		StackConfig: laps.StackConfig{
+			Custom:   laps.NewOracleScheduler(4),
+			Duration: laps.Millisecond,
+			Traffic:  []laps.ServiceTraffic{trafficFor(laps.SvcIPForward, 1, 1)},
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -88,11 +94,13 @@ func TestSimulateCustomScheduler(t *testing.T) {
 func TestSimulateDeterministic(t *testing.T) {
 	run := func() laps.Metrics {
 		res, err := laps.Simulate(laps.SimConfig{
-			Duration: 2 * laps.Millisecond,
-			Seed:     9,
-			Traffic: []laps.ServiceTraffic{
-				trafficFor(laps.SvcIPForward, 2, 1),
-				trafficFor(laps.SvcMalwareScan, 0.3, 2),
+			StackConfig: laps.StackConfig{
+				Duration: 2 * laps.Millisecond,
+				Seed:     9,
+				Traffic: []laps.ServiceTraffic{
+					trafficFor(laps.SvcIPForward, 2, 1),
+					trafficFor(laps.SvcMalwareScan, 0.3, 2),
+				},
 			},
 		})
 		if err != nil {
@@ -194,15 +202,17 @@ func TestSchedulerFacade(t *testing.T) {
 
 func TestSimulateConsolidate(t *testing.T) {
 	res, err := laps.Simulate(laps.SimConfig{
-		Scheduler:   laps.LAPS,
-		Consolidate: true,
-		Duration:    5 * laps.Millisecond,
-		Seed:        4,
-		Traffic: []laps.ServiceTraffic{{
-			Service: laps.SvcIPForward,
-			Params:  laps.RateParams{A: 2}, // light: plenty to consolidate
-			Trace:   laps.CAIDATrace(1),
-		}},
+		StackConfig: laps.StackConfig{
+			Scheduler:   laps.LAPS,
+			Consolidate: true,
+			Duration:    5 * laps.Millisecond,
+			Seed:        4,
+			Traffic: []laps.ServiceTraffic{{
+				Service: laps.SvcIPForward,
+				Params:  laps.RateParams{A: 2}, // light: plenty to consolidate
+				Trace:   laps.CAIDATrace(1),
+			}},
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -222,13 +232,15 @@ func TestSimulateConsolidate(t *testing.T) {
 
 func TestSimulateLatencyHistograms(t *testing.T) {
 	res, err := laps.Simulate(laps.SimConfig{
-		Duration: 2 * laps.Millisecond,
-		Seed:     6,
-		Traffic: []laps.ServiceTraffic{{
-			Service: laps.SvcIPForward,
-			Params:  laps.RateParams{A: 3},
-			Trace:   laps.CAIDATrace(1),
-		}},
+		StackConfig: laps.StackConfig{
+			Duration: 2 * laps.Millisecond,
+			Seed:     6,
+			Traffic: []laps.ServiceTraffic{{
+				Service: laps.SvcIPForward,
+				Params:  laps.RateParams{A: 3},
+				Trace:   laps.CAIDATrace(1),
+			}},
+		},
 	})
 	if err != nil {
 		t.Fatal(err)

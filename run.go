@@ -23,7 +23,14 @@ type (
 	// cores), WorkSleep sleeps for it (latency-bound, scales with
 	// worker count).
 	WorkKind = rt.WorkKind
-	// RunStats are the live engine's end-of-run counters.
+	// EngineStats are the live engine's end-of-run counters (both the
+	// single-dispatcher engine and the sharded data plane produce them).
+	EngineStats = rt.Result
+	// RunStats is the former name of EngineStats.
+	//
+	// Deprecated: use EngineStats. The alias resolves the historical
+	// collision between this type, RunResult and the simulator's
+	// SimResult; it will be removed in a future release.
 	RunStats = rt.Result
 	// WorkerReport is one live worker's accounting.
 	WorkerReport = rt.WorkerReport
@@ -57,9 +64,16 @@ func RandomFaultPlan(seed uint64, workers, stalls, kills int, maxAfter uint64, s
 }
 
 // RunConfig describes a live execution for Run: the same scheduler and
-// traffic vocabulary as SimConfig, executed on worker goroutines with
-// SPSC rings instead of the simulator's virtual cores.
+// traffic vocabulary as SimConfig (the embedded StackConfig), executed
+// on worker goroutines with SPSC rings instead of the simulator's
+// virtual cores. The arrival process is the simulator's: a virtual-time
+// event engine replays the Holt-Winters rate model over
+// StackConfig.Traffic, so a live run and a simulation with the same
+// StackConfig see the exact same packet sequence. One caveat: FCFS is
+// simulator-only (it needs the shared queue) and returns an error here.
 type RunConfig struct {
+	StackConfig
+
 	// Workers is the number of worker goroutines ("cores"); 0 means 4.
 	// Ignored in shadow mode, where Shadow.Cores decides.
 	Workers int
@@ -68,31 +82,20 @@ type RunConfig struct {
 	RingCap int
 	// Batch is the dispatch/consume batch size; 0 means 32.
 	Batch int
+	// Dispatchers, when > 0, replaces the single dispatcher goroutine
+	// with the sharded data plane: N ingress shards partition flows by
+	// CRC16 over the 5-tuple and resolve packet→worker lock-free against
+	// an immutable forwarding snapshot, while a control-plane goroutine
+	// runs the real scheduler off sampled observations and republishes
+	// the snapshot on every state change (see docs/RUNTIME.md). Requires
+	// a scheduler that can publish forwarding snapshots (LAPS, remapped
+	// or not); incompatible with shadow mode, whose point is exact
+	// per-decision conformance. 0 keeps the classic single-dispatcher
+	// engine.
+	Dispatchers int
 
-	// Scheduler picks a built-in scheduler; ignored when Custom is set.
-	// Empty means LAPS. FCFS is simulator-only (it needs the shared
-	// queue) and returns an error here.
-	Scheduler SchedulerKind
-	// Custom plugs in any CoreScheduler implementation. It is called
-	// only from the dispatcher goroutine.
-	Custom CoreScheduler
-	// Consolidate enables LAPS's power-aware core parking.
-	Consolidate bool
-
-	// Traffic lists the offered load per service (at least one entry).
-	// The arrival process is the simulator's: a virtual-time event
-	// engine replays the Holt-Winters rate model over these sources, so
-	// a live run and a simulation with the same Traffic and Seed see the
-	// exact same packet sequence.
-	Traffic []ServiceTraffic
-	// Duration is the traffic window in virtual time; 0 means 50 ms.
-	Duration Time
-	// TimeCompression maps virtual seconds to rate-model seconds.
-	TimeCompression float64
 	// RateScale multiplies all rates (scaled-down experiments).
 	RateScale float64
-	// CBRArrivals uses paced (±50% jitter) instead of Poisson arrivals.
-	CBRArrivals bool
 	// Pace is the playback speed of the virtual arrival clock against
 	// the wall clock: 1 replays in real time, 2 at double speed, 0.5 at
 	// half. 0 (the default) dispatches as fast as possible.
@@ -155,8 +158,8 @@ type RunConfig struct {
 
 // RunResult is the outcome of Run.
 type RunResult struct {
-	// Live are the runtime engine's counters.
-	Live RunStats
+	// Live are the runtime engine's counters (EngineStats).
+	Live EngineStats
 	// Generated is the number of packets the arrival process offered.
 	Generated uint64
 	// Scheduler names the scheduler that ran.
@@ -164,7 +167,7 @@ type RunResult struct {
 	// LapsStats is non-nil when the LAPS scheduler ran.
 	LapsStats *SchedulerStats
 	// Sim is non-nil in shadow mode: the embedded simulation's result.
-	Sim *Result
+	Sim *SimResult
 }
 
 // Run executes a scheduler on real goroutine cores. Where Simulate
@@ -179,12 +182,14 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	return runLive(cfg)
 }
 
-// newLiveEngine builds the runtime engine shared by both Run modes.
-func newLiveEngine(cfg RunConfig, workers int, scheduler npsim.Scheduler, policy rt.Policy) (*rt.Engine, error) {
-	return rt.New(rt.Config{
+// liveConfig builds the runtime configuration shared by both Run modes
+// and both live engines (single-dispatcher and sharded).
+func liveConfig(cfg RunConfig, workers int, scheduler npsim.Scheduler, policy rt.Policy) rt.Config {
+	return rt.Config{
 		Workers:         workers,
 		RingCap:         cfg.RingCap,
 		Batch:           cfg.Batch,
+		Dispatchers:     cfg.Dispatchers,
 		Sched:           scheduler,
 		Policy:          policy,
 		DisableFencing:  cfg.DisableFencing,
@@ -196,7 +201,13 @@ func newLiveEngine(cfg RunConfig, workers int, scheduler npsim.Scheduler, policy
 		ReorderCap:      cfg.ReorderCap,
 		Faults:          cfg.Faults,
 		DetectWindow:    cfg.DetectWindow,
-	})
+	}
+}
+
+// newLiveEngine builds the single-dispatcher runtime engine shared by
+// both Run modes.
+func newLiveEngine(cfg RunConfig, workers int, scheduler npsim.Scheduler, policy rt.Policy) (*rt.Engine, error) {
+	return rt.New(liveConfig(cfg, workers, scheduler, policy))
 }
 
 // runLive is the normal mode: the virtual-clock arrival process feeds
@@ -214,6 +225,9 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 	}
 	if cfg.Scheduler == "" {
 		cfg.Scheduler = LAPS
+	}
+	if cfg.Dispatchers < 0 {
+		return nil, fmt.Errorf("laps: Dispatchers must be >= 0, got %d", cfg.Dispatchers)
 	}
 	services, active, err := trafficProfile(cfg.Traffic)
 	if err != nil {
@@ -236,9 +250,32 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 	if cfg.Block {
 		policy = rt.BlockWhenFull
 	}
-	live, err := newLiveEngine(cfg, cfg.Workers, scheduler, policy)
-	if err != nil {
-		return nil, err
+	// Both engines are driven through the same three hooks so the
+	// arrival loop below stays engine-agnostic.
+	var (
+		start func(context.Context)
+		feed  func(*packet.Packet)
+		flush func()
+		stop  func() *rt.Result
+	)
+	if cfg.Dispatchers > 0 {
+		sharded, err := rt.NewSharded(liveConfig(cfg, cfg.Workers, scheduler, policy))
+		if err != nil {
+			return nil, err
+		}
+		start = sharded.Start
+		feed = func(p *packet.Packet) { sharded.Ingest(p) }
+		flush = func() {} // shards drain their own ingress rings when idle
+		stop = sharded.Stop
+	} else {
+		live, err := newLiveEngine(cfg, cfg.Workers, scheduler, policy)
+		if err != nil {
+			return nil, err
+		}
+		start = live.Start
+		feed = func(p *packet.Packet) { live.Dispatch(p) }
+		flush = live.Flush
+		stop = live.Stop
 	}
 	ctx := cfg.Context
 	if ctx == nil {
@@ -259,7 +296,7 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 	if cfg.CBRArrivals {
 		arrivals = traffic.CBR
 	}
-	live.Start(ctx)
+	start(ctx)
 	wallStart := time.Now()
 	sink := func(p *packet.Packet) {
 		if ctx.Err() != nil {
@@ -270,11 +307,11 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 			// virtual timestamp at the requested playback speed.
 			target := time.Duration(float64(p.Arrival) / cfg.Pace)
 			if wait := target - time.Since(wallStart); wait > 0 {
-				live.Flush() // publish partial batches before idling
+				flush() // publish partial batches before idling
 				time.Sleep(wait)
 			}
 		}
-		live.Dispatch(p)
+		feed(p)
 	}
 	gen := traffic.NewGenerator(eng, traffic.Config{
 		Sources:         sources,
@@ -286,7 +323,7 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 	}, sink)
 	gen.Start()
 	eng.Run()
-	stats := live.Stop()
+	stats := stop()
 
 	res := &RunResult{
 		Live:      *stats,
@@ -306,6 +343,9 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 func runShadow(cfg RunConfig) (*RunResult, error) {
 	if cfg.Faults != nil {
 		return nil, fmt.Errorf("laps: fault injection is incompatible with shadow mode — recovery re-routes packets, breaking decision conformance")
+	}
+	if cfg.Dispatchers > 0 {
+		return nil, fmt.Errorf("laps: Dispatchers is incompatible with shadow mode — sharded dispatch resolves packets against sampled snapshots, breaking decision conformance")
 	}
 	simCfg := *cfg.Shadow
 	if simCfg.Cores == 0 {

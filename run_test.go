@@ -20,11 +20,13 @@ func liveTraffic(seed uint64) []laps.ServiceTraffic {
 
 func TestRunLiveSmoke(t *testing.T) {
 	res, err := laps.Run(laps.RunConfig{
-		Workers:  4,
-		Duration: 2 * laps.Millisecond,
-		Seed:     3,
-		Block:    true,
-		Traffic:  liveTraffic(3),
+		StackConfig: laps.StackConfig{
+			Duration: 2 * laps.Millisecond,
+			Seed:     3,
+			Traffic:  liveTraffic(3),
+		},
+		Workers: 4,
+		Block:   true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -50,11 +52,13 @@ func TestRunLiveSmoke(t *testing.T) {
 func TestRunLiveTelemetry(t *testing.T) {
 	rec := laps.NewRecorder(0)
 	res, err := laps.Run(laps.RunConfig{
+		StackConfig: laps.StackConfig{
+			Duration: 2 * laps.Millisecond,
+			Seed:     5,
+			Traffic:  liveTraffic(5),
+		},
 		Workers:         4,
-		Duration:        2 * laps.Millisecond,
-		Seed:            5,
 		Block:           true,
-		Traffic:         liveTraffic(5),
 		Trace:           rec,
 		MetricsInterval: time.Millisecond,
 	})
@@ -74,11 +78,13 @@ func TestRunLiveTelemetry(t *testing.T) {
 // drop or reorder, and the recovery counters must surface in RunStats.
 func TestRunLiveWithFaults(t *testing.T) {
 	res, err := laps.Run(laps.RunConfig{
-		Workers:  4,
-		Duration: 2 * laps.Millisecond,
-		Seed:     3,
-		Block:    true,
-		Traffic:  liveTraffic(3),
+		StackConfig: laps.StackConfig{
+			Duration: 2 * laps.Millisecond,
+			Seed:     3,
+			Traffic:  liveTraffic(3),
+		},
+		Workers: 4,
+		Block:   true,
 		Faults: &laps.FaultPlan{Faults: []laps.Fault{
 			{Worker: 1, After: 500, Kind: laps.FaultStall, Duration: 600 * time.Millisecond},
 			{Worker: 3, After: 800, Kind: laps.FaultKill},
@@ -103,23 +109,130 @@ func TestRunLiveWithFaults(t *testing.T) {
 	}
 }
 
+// TestRunLiveSharded drives the sharded data plane through the public
+// API: flow-affine ingress shards resolving against published LAPS
+// snapshots must lose nothing and reorder nothing under backpressure.
+func TestRunLiveSharded(t *testing.T) {
+	res, err := laps.Run(laps.RunConfig{
+		StackConfig: laps.StackConfig{
+			Duration: 2 * laps.Millisecond,
+			Seed:     3,
+			Traffic:  liveTraffic(3),
+		},
+		Workers:     4,
+		Dispatchers: 2,
+		Block:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live.Dispatchers != 2 {
+		t.Fatalf("Dispatchers = %d, want 2", res.Live.Dispatchers)
+	}
+	if res.Live.Dispatched != res.Generated {
+		t.Fatalf("dispatched %d != generated %d", res.Live.Dispatched, res.Generated)
+	}
+	if res.Live.Processed != res.Live.Dispatched || res.Live.Dropped != 0 {
+		t.Fatalf("sharded block run lost packets: processed %d of %d, dropped %d",
+			res.Live.Processed, res.Live.Dispatched, res.Live.Dropped)
+	}
+	if res.Live.OutOfOrder != 0 {
+		t.Fatalf("sharded fencing let %d packets reorder", res.Live.OutOfOrder)
+	}
+	if res.Live.Snapshots == 0 {
+		t.Fatal("control plane never published a forwarding snapshot")
+	}
+	if res.Scheduler != "laps" || res.LapsStats == nil {
+		t.Fatalf("expected LAPS run with stats, got %q (%v)", res.Scheduler, res.LapsStats)
+	}
+}
+
+// TestRunShardedConformance pins the cross-shard ordering contract at
+// the API level: the same StackConfig at Dispatchers=1 and 4 retires
+// every packet with zero reordering in both runs.
+func TestRunShardedConformance(t *testing.T) {
+	run := func(disp int) *laps.RunResult {
+		res, err := laps.Run(laps.RunConfig{
+			StackConfig: laps.StackConfig{
+				Duration: 2 * laps.Millisecond,
+				Seed:     11,
+				Traffic:  liveTraffic(11),
+			},
+			Workers:     4,
+			Dispatchers: disp,
+			Block:       true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one, four := run(1), run(4)
+	if one.Generated != four.Generated {
+		t.Fatalf("arrival sequence diverged: %d vs %d packets", one.Generated, four.Generated)
+	}
+	for _, r := range []*laps.RunResult{one, four} {
+		if r.Live.Processed != r.Live.Dispatched || r.Live.Dropped != 0 {
+			t.Fatalf("dispatchers=%d lost packets: %+v", r.Live.Dispatchers, r.Live)
+		}
+		if r.Live.OutOfOrder != 0 {
+			t.Fatalf("dispatchers=%d reordered %d packets", r.Live.Dispatchers, r.Live.OutOfOrder)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if _, err := laps.Run(laps.RunConfig{}); err == nil {
 		t.Fatal("empty config accepted")
 	}
 	if _, err := laps.Run(laps.RunConfig{
-		Scheduler: laps.FCFS, Traffic: liveTraffic(1),
+		StackConfig: laps.StackConfig{Scheduler: laps.FCFS, Traffic: liveTraffic(1)},
 	}); err == nil {
 		t.Fatal("FCFS accepted in live mode")
 	}
-	bad := laps.SimConfig{Cores: 8, Traffic: liveTraffic(1)}
+	bad := laps.SimConfig{StackConfig: laps.StackConfig{Traffic: liveTraffic(1)}, Cores: 8}
 	if _, err := laps.Run(laps.RunConfig{Workers: 4, Shadow: &bad}); err == nil {
 		t.Fatal("shadow mode accepted Workers != Shadow.Cores")
 	}
-	shadow := laps.SimConfig{Cores: 4, Traffic: liveTraffic(1)}
+	shadow := laps.SimConfig{StackConfig: laps.StackConfig{Traffic: liveTraffic(1)}, Cores: 4}
 	faults := &laps.FaultPlan{Faults: []laps.Fault{{Worker: 1, Kind: laps.FaultKill}}}
 	if _, err := laps.Run(laps.RunConfig{Shadow: &shadow, Faults: faults}); err == nil {
 		t.Fatal("shadow mode accepted fault injection")
+	}
+	if _, err := laps.Run(laps.RunConfig{Shadow: &shadow, Dispatchers: 2}); err == nil {
+		t.Fatal("shadow mode accepted sharded dispatch")
+	}
+	if _, err := laps.Run(laps.RunConfig{
+		StackConfig: laps.StackConfig{Traffic: liveTraffic(1)},
+		Dispatchers: -1,
+	}); err == nil {
+		t.Fatal("negative Dispatchers accepted")
+	}
+	if _, err := laps.Run(laps.RunConfig{
+		StackConfig: laps.StackConfig{Scheduler: laps.AFS, Traffic: liveTraffic(1)},
+		Dispatchers: 2,
+	}); err == nil {
+		t.Fatal("sharded dispatch accepted a scheduler with no forwarding snapshots")
+	}
+}
+
+// TestRunTrafficRejectsDuplicateService pins the trafficProfile fix:
+// two Traffic entries naming the same service must be rejected, in both
+// engines, instead of silently shadowing each other.
+func TestRunTrafficRejectsDuplicateService(t *testing.T) {
+	dup := []laps.ServiceTraffic{
+		trafficFor(laps.SvcIPForward, 1, 1),
+		trafficFor(laps.SvcIPForward, 2, 2),
+	}
+	if _, err := laps.Simulate(laps.SimConfig{
+		StackConfig: laps.StackConfig{Traffic: dup},
+	}); err == nil {
+		t.Fatal("Simulate accepted duplicate service traffic")
+	}
+	if _, err := laps.Run(laps.RunConfig{
+		StackConfig: laps.StackConfig{Traffic: dup},
+	}); err == nil {
+		t.Fatal("Run accepted duplicate service traffic")
 	}
 }
 
@@ -127,10 +240,12 @@ func TestRunContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // already cancelled: nothing must be dispatched, nothing hangs
 	res, err := laps.Run(laps.RunConfig{
-		Workers:  2,
-		Duration: 2 * laps.Millisecond,
-		Traffic:  liveTraffic(7),
-		Context:  ctx,
+		StackConfig: laps.StackConfig{
+			Duration: 2 * laps.Millisecond,
+			Traffic:  liveTraffic(7),
+		},
+		Workers: 2,
+		Context: ctx,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -143,12 +258,14 @@ func TestRunContextCancel(t *testing.T) {
 func TestRunPacedReplayTakesWallTime(t *testing.T) {
 	start := time.Now()
 	res, err := laps.Run(laps.RunConfig{
-		Workers:  2,
-		Duration: 4 * laps.Millisecond,
-		Seed:     9,
-		Pace:     1, // real time: 4 ms of virtual arrivals ≈ 4 ms of wall clock
-		Block:    true,
-		Traffic:  []laps.ServiceTraffic{trafficFor(laps.SvcIPForward, 1, 9)},
+		StackConfig: laps.StackConfig{
+			Duration: 4 * laps.Millisecond,
+			Seed:     9,
+			Traffic:  []laps.ServiceTraffic{trafficFor(laps.SvcIPForward, 1, 9)},
+		},
+		Workers: 2,
+		Pace:    1, // real time: 4 ms of virtual arrivals ≈ 4 ms of wall clock
+		Block:   true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -187,11 +304,13 @@ func controlPlane(rec *laps.Recorder) []laps.Event {
 func TestRunShadowConformance(t *testing.T) {
 	mkCfg := func(rec *laps.Recorder) laps.SimConfig {
 		return laps.SimConfig{
-			Cores:    8,
-			Duration: 4 * laps.Millisecond,
-			Seed:     42,
-			Traffic:  liveTraffic(42),
-			Trace:    rec,
+			StackConfig: laps.StackConfig{
+				Duration: 4 * laps.Millisecond,
+				Seed:     42,
+				Traffic:  liveTraffic(42),
+			},
+			Cores: 8,
+			Trace: rec,
 		}
 	}
 
@@ -259,10 +378,12 @@ func TestRunShadowConformance(t *testing.T) {
 func TestRunShadowDeterministic(t *testing.T) {
 	run := func() *laps.RunResult {
 		cfg := laps.SimConfig{
-			Cores:    8,
-			Duration: 2 * laps.Millisecond,
-			Seed:     17,
-			Traffic:  liveTraffic(17),
+			StackConfig: laps.StackConfig{
+				Duration: 2 * laps.Millisecond,
+				Seed:     17,
+				Traffic:  liveTraffic(17),
+			},
+			Cores: 8,
 		}
 		res, err := laps.Run(laps.RunConfig{Shadow: &cfg})
 		if err != nil {
