@@ -28,6 +28,7 @@ import (
 	"math/rand/v2"
 
 	"laps/internal/cache"
+	"laps/internal/crc"
 	"laps/internal/obs"
 	"laps/internal/packet"
 )
@@ -105,8 +106,8 @@ type Stats struct {
 // Detector is the Aggressive Flow Detector.
 type Detector struct {
 	cfg   Config
-	afc   cache.Cache[packet.FlowKey]
-	annex cache.Cache[packet.FlowKey]
+	afc   cache.Cache
+	annex cache.Cache
 	rng   *rand.Rand
 	stats Stats
 	rec   *obs.Recorder // nil = no telemetry
@@ -134,11 +135,11 @@ func New(cfg Config) *Detector {
 	if cfg.SampleProb < 0 || cfg.SampleProb > 1 {
 		panic(fmt.Sprintf("afd: sample probability %v outside (0,1]", cfg.SampleProb))
 	}
-	mk := func(n int) cache.Cache[packet.FlowKey] {
+	mk := func(n int) cache.Cache {
 		if cfg.Policy == LRU {
-			return cache.NewLRU[packet.FlowKey](n)
+			return cache.NewLRU(n)
 		}
-		return cache.NewLFU[packet.FlowKey](n)
+		return cache.NewLFU(n)
 	}
 	return &Detector{
 		cfg:   cfg,
@@ -165,33 +166,49 @@ func (d *Detector) Stats() Stats { return d.stats }
 
 // Observe offers one packet's flow ID to the detector. This is the
 // training path; it runs in the background off the scheduler's critical
-// path (§III-G).
+// path (§III-G). The flow hash is computed here only when the packet is
+// actually sampled; callers holding a packet with a primed hash should
+// use ObserveH instead.
 func (d *Detector) Observe(f packet.FlowKey) {
 	d.stats.Observed++
 	if d.cfg.SampleProb < 1 && d.rng.Float64() >= d.cfg.SampleProb {
 		return
 	}
+	d.observe(f, crc.FlowHash(f))
+}
+
+// ObserveH is Observe for callers that already hold f's flow hash
+// (the scheduler hot path, where it is cached on the packet).
+func (d *Detector) ObserveH(f packet.FlowKey, h uint16) {
+	d.stats.Observed++
+	if d.cfg.SampleProb < 1 && d.rng.Float64() >= d.cfg.SampleProb {
+		return
+	}
+	d.observe(f, h)
+}
+
+func (d *Detector) observe(f packet.FlowKey, h uint16) {
 	d.stats.Sampled++
-	if _, ok := d.afc.Touch(f); ok {
+	if _, ok := d.afc.Touch(f, h); ok {
 		d.stats.AFCHits++
 		return
 	}
-	if n, ok := d.annex.Touch(f); ok {
+	if n, ok := d.annex.Touch(f, h); ok {
 		d.stats.AnnexHits++
 		if n > d.cfg.PromoteThreshold {
-			d.promote(f, n)
+			d.promote(f, h, n)
 		}
 		return
 	}
 	d.stats.Misses++
-	d.annex.Insert(f, 1)
+	d.annex.Insert(f, h, 1)
 }
 
 // promote moves f (with count n) from the annex into the AFC, demoting
 // the AFC's victim back into the annex in its place.
-func (d *Detector) promote(f packet.FlowKey, n uint64) {
-	d.annex.Remove(f)
-	victim, evicted := d.afc.Insert(f, n)
+func (d *Detector) promote(f packet.FlowKey, h uint16, n uint64) {
+	d.annex.Remove(f, h)
+	victim, evicted := d.afc.Insert(f, h, n)
 	d.stats.Promotions++
 	if d.rec != nil {
 		d.rec.Emit(obs.Event{Kind: obs.EvAFCPromote, Service: d.svc,
@@ -207,7 +224,7 @@ func (d *Detector) promote(f packet.FlowKey, n uint64) {
 		// (the paper's "inertia before a flow is excluded from the
 		// AFD") and, on return, it re-enters the AFC *above* any stale
 		// lower-count residents instead of below them.
-		d.annex.Insert(victim.Key, victim.Count)
+		d.annex.Insert(victim.Key, victim.Hash, victim.Count)
 		d.stats.Demotions++
 	}
 }
@@ -216,7 +233,12 @@ func (d *Detector) promote(f packet.FlowKey, n uint64) {
 // the check the scheduler performs under load imbalance (Listing 1,
 // "hit = AFC.access(flowID)").
 func (d *Detector) IsAggressive(f packet.FlowKey) bool {
-	_, ok := d.afc.Count(f)
+	return d.IsAggressiveH(f, crc.FlowHash(f))
+}
+
+// IsAggressiveH is IsAggressive with the caller-supplied flow hash.
+func (d *Detector) IsAggressiveH(f packet.FlowKey, h uint16) bool {
+	_, ok := d.afc.Count(f, h)
 	return ok
 }
 
@@ -228,15 +250,20 @@ func (d *Detector) IsAggressive(f packet.FlowKey) bool {
 // This keeps the load-balancing loop live under sustained overload
 // while still preventing back-to-back re-migration.
 func (d *Detector) Invalidate(f packet.FlowKey) bool {
-	if _, ok := d.afc.Count(f); !ok {
+	return d.InvalidateH(f, crc.FlowHash(f))
+}
+
+// InvalidateH is Invalidate with the caller-supplied flow hash.
+func (d *Detector) InvalidateH(f packet.FlowKey, h uint16) bool {
+	if _, ok := d.afc.Count(f, h); !ok {
 		return false
 	}
-	d.afc.Remove(f)
+	d.afc.Remove(f, h)
 	requalAt := uint64(1)
 	if d.cfg.PromoteThreshold+1 > d.cfg.RequalifyHits {
 		requalAt = d.cfg.PromoteThreshold + 1 - d.cfg.RequalifyHits
 	}
-	d.annex.Insert(f, requalAt)
+	d.annex.Insert(f, h, requalAt)
 	d.stats.Invalidated++
 	if d.rec != nil {
 		d.rec.Emit(obs.Event{Kind: obs.EvAFCInvalidate, Service: d.svc,
@@ -260,7 +287,7 @@ func (d *Detector) Aggressive() []packet.FlowKey {
 }
 
 // AggressiveEntries returns AFC residents with their counts.
-func (d *Detector) AggressiveEntries() []cache.Entry[packet.FlowKey] {
+func (d *Detector) AggressiveEntries() []cache.Entry {
 	return d.afc.Entries()
 }
 
@@ -272,7 +299,7 @@ func (d *Detector) AFCLen() int { return d.afc.Len() }
 
 // InAnnex reports whether f currently resides in the annex cache.
 func (d *Detector) InAnnex(f packet.FlowKey) bool {
-	_, ok := d.annex.Count(f)
+	_, ok := d.annex.Count(f, crc.FlowHash(f))
 	return ok
 }
 

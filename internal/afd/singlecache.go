@@ -2,6 +2,7 @@ package afd
 
 import (
 	"laps/internal/cache"
+	"laps/internal/crc"
 	"laps/internal/packet"
 )
 
@@ -14,7 +15,7 @@ import (
 // annex filters those out. Benchmarked head-to-head in the ablation
 // (BenchmarkAblationSingleVsTwoLevel and the fig8 drivers).
 type SingleCache struct {
-	cache *cache.LFU[packet.FlowKey]
+	cache *cache.LFU
 	k     int
 	stats Stats
 }
@@ -25,19 +26,20 @@ func NewSingleCache(capacity, k int) *SingleCache {
 	if k > capacity {
 		k = capacity
 	}
-	return &SingleCache{cache: cache.NewLFU[packet.FlowKey](capacity), k: k}
+	return &SingleCache{cache: cache.NewLFU(capacity), k: k}
 }
 
 // Observe offers one packet's flow ID to the detector.
 func (s *SingleCache) Observe(f packet.FlowKey) {
 	s.stats.Observed++
 	s.stats.Sampled++
-	if _, ok := s.cache.Touch(f); ok {
+	h := crc.FlowHash(f)
+	if _, ok := s.cache.Touch(f, h); ok {
 		s.stats.AFCHits++
 		return
 	}
 	s.stats.Misses++
-	s.cache.Insert(f, 1)
+	s.cache.Insert(f, h, 1)
 }
 
 // Aggressive returns the k hottest resident flows (hottest last, matching
@@ -56,7 +58,7 @@ func (s *SingleCache) Aggressive() []packet.FlowKey {
 
 // IsAggressive reports whether f is among the k hottest residents.
 func (s *SingleCache) IsAggressive(f packet.FlowKey) bool {
-	n, ok := s.cache.Count(f)
+	n, ok := s.cache.Count(f, crc.FlowHash(f))
 	if !ok {
 		return false
 	}
@@ -70,7 +72,7 @@ func (s *SingleCache) IsAggressive(f packet.FlowKey) bool {
 
 // Invalidate removes f from the cache.
 func (s *SingleCache) Invalidate(f packet.FlowKey) bool {
-	ok := s.cache.Remove(f)
+	ok := s.cache.Remove(f, crc.FlowHash(f))
 	if ok {
 		s.stats.Invalidated++
 	}

@@ -7,41 +7,56 @@
 //
 // All operations are O(1); the LFU uses the classic frequency-bucket
 // list so that finding the minimum-frequency victim never scans.
+//
+// Keys are flow identifiers and every mutating/lookup operation takes
+// the key's CRC16 flow hash alongside it: the hot path (AFD observe per
+// sampled packet) already has the hash cached on the packet, and the
+// resident-entry index is an open-addressed flowtab keyed by it, so no
+// per-operation rehash of the 13-byte key ever happens. Eviction policy
+// state (frequency buckets, recency lists) is unchanged from the
+// map-backed version — identical operation sequences still produce
+// identical eviction decisions.
 package cache
 
-// Entry is a key together with its reference count.
-type Entry[K comparable] struct {
-	Key   K
+import "laps/internal/packet"
+
+// Key is the cache key type: a 5-tuple flow identifier.
+type Key = packet.FlowKey
+
+// Entry is a key together with its flow hash and reference count.
+type Entry struct {
+	Key   Key
+	Hash  uint16
 	Count uint64
 }
 
 // Cache is a fixed-capacity associative cache. Implementations must be
 // deterministic: identical operation sequences produce identical
-// eviction decisions.
-type Cache[K comparable] interface {
+// eviction decisions. The h argument must always be crc.FlowHash(k).
+type Cache interface {
 	// Len returns the number of resident entries.
 	Len() int
 	// Cap returns the capacity.
 	Cap() int
 	// Count returns the entry's reference count without touching it.
-	Count(k K) (uint64, bool)
+	Count(k Key, h uint16) (uint64, bool)
 	// Touch records a reference to a resident key, incrementing its
 	// count, and returns the new count. It reports false on a miss.
-	Touch(k K) (uint64, bool)
+	Touch(k Key, h uint16) (uint64, bool)
 	// Insert adds a key with an initial count. If the cache is full the
 	// policy's victim is evicted and returned. Inserting a resident key
 	// overwrites its count. The bool reports whether an eviction happened.
-	Insert(k K, count uint64) (Entry[K], bool)
+	Insert(k Key, h uint16, count uint64) (Entry, bool)
 	// Remove evicts a specific key, reporting whether it was resident.
-	Remove(k K) bool
+	Remove(k Key, h uint16) bool
 	// Victim returns (without evicting) the entry the policy would evict
 	// next. It reports false when the cache is empty.
-	Victim() (Entry[K], bool)
+	Victim() (Entry, bool)
 	// Keys returns the resident keys in the policy's internal order,
 	// starting with the next victim. The slice is freshly allocated.
-	Keys() []K
+	Keys() []Key
 	// Entries returns resident entries in the same order as Keys.
-	Entries() []Entry[K]
+	Entries() []Entry
 	// Reset evicts everything.
 	Reset()
 }

@@ -4,12 +4,24 @@ import (
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
+
+	"laps/internal/crc"
 )
 
+// ck builds a distinct flow key from a small integer id (recoverable
+// via kid) so the behaviour tests read like their map-era versions.
+func ck(i int) Key { return Key{SrcIP: uint32(i), DstIP: uint32(i) << 7, SrcPort: 443, Proto: 6} }
+
+// chash returns the flow hash every cache operation must be given.
+func chash(i int) uint16 { return crc.FlowHash(ck(i)) }
+
+// kid recovers the integer id ck encoded.
+func kid(k Key) int { return int(k.SrcIP) }
+
 // constructors under test; every generic behaviour test runs against both.
-var constructors = map[string]func(capacity int) Cache[int]{
-	"LFU": func(c int) Cache[int] { return NewLFU[int](c) },
-	"LRU": func(c int) Cache[int] { return NewLRU[int](c) },
+var constructors = map[string]func(capacity int) Cache{
+	"LFU": func(c int) Cache { return NewLFU(c) },
+	"LRU": func(c int) Cache { return NewLRU(c) },
 }
 
 func TestCapacityPanics(t *testing.T) {
@@ -35,13 +47,13 @@ func TestEmptyCache(t *testing.T) {
 			if _, ok := c.Victim(); ok {
 				t.Fatal("empty cache has a victim")
 			}
-			if _, ok := c.Touch(1); ok {
+			if _, ok := c.Touch(ck(1), chash(1)); ok {
 				t.Fatal("Touch hit on empty cache")
 			}
-			if _, ok := c.Count(1); ok {
+			if _, ok := c.Count(ck(1), chash(1)); ok {
 				t.Fatal("Count hit on empty cache")
 			}
-			if c.Remove(1) {
+			if c.Remove(ck(1), chash(1)) {
 				t.Fatal("Remove succeeded on empty cache")
 			}
 			if len(c.Keys()) != 0 {
@@ -55,16 +67,16 @@ func TestInsertAndTouch(t *testing.T) {
 	for name, mk := range constructors {
 		t.Run(name, func(t *testing.T) {
 			c := mk(4)
-			if _, ev := c.Insert(7, 1); ev {
+			if _, ev := c.Insert(ck(7), chash(7), 1); ev {
 				t.Fatal("insert into empty cache evicted")
 			}
-			if n, ok := c.Count(7); !ok || n != 1 {
+			if n, ok := c.Count(ck(7), chash(7)); !ok || n != 1 {
 				t.Fatalf("Count(7) = %d,%v, want 1,true", n, ok)
 			}
-			if n, ok := c.Touch(7); !ok || n != 2 {
+			if n, ok := c.Touch(ck(7), chash(7)); !ok || n != 2 {
 				t.Fatalf("Touch(7) = %d,%v, want 2,true", n, ok)
 			}
-			if n, _ := c.Count(7); n != 2 {
+			if n, _ := c.Count(ck(7), chash(7)); n != 2 {
 				t.Fatalf("Count after touch = %d, want 2", n)
 			}
 		})
@@ -75,10 +87,10 @@ func TestInsertResidentOverwritesCount(t *testing.T) {
 	for name, mk := range constructors {
 		t.Run(name, func(t *testing.T) {
 			c := mk(4)
-			c.Insert(7, 1)
-			c.Touch(7)
-			c.Insert(7, 10)
-			if n, _ := c.Count(7); n != 10 {
+			c.Insert(ck(7), chash(7), 1)
+			c.Touch(ck(7), chash(7))
+			c.Insert(ck(7), chash(7), 10)
+			if n, _ := c.Count(ck(7), chash(7)); n != 10 {
 				t.Fatalf("count = %d, want 10", n)
 			}
 			if c.Len() != 1 {
@@ -93,7 +105,7 @@ func TestLenNeverExceedsCap(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			c := mk(8)
 			for i := 0; i < 100; i++ {
-				c.Insert(i, 1)
+				c.Insert(ck(i), chash(i), 1)
 				if c.Len() > c.Cap() {
 					t.Fatalf("Len %d exceeds Cap %d", c.Len(), c.Cap())
 				}
@@ -109,18 +121,18 @@ func TestRemove(t *testing.T) {
 	for name, mk := range constructors {
 		t.Run(name, func(t *testing.T) {
 			c := mk(4)
-			c.Insert(1, 1)
-			c.Insert(2, 1)
-			if !c.Remove(1) {
+			c.Insert(ck(1), chash(1), 1)
+			c.Insert(ck(2), chash(2), 1)
+			if !c.Remove(ck(1), chash(1)) {
 				t.Fatal("Remove(1) failed")
 			}
-			if _, ok := c.Count(1); ok {
+			if _, ok := c.Count(ck(1), chash(1)); ok {
 				t.Fatal("removed key still resident")
 			}
 			if c.Len() != 1 {
 				t.Fatalf("Len = %d, want 1", c.Len())
 			}
-			if c.Remove(1) {
+			if c.Remove(ck(1), chash(1)) {
 				t.Fatal("double Remove succeeded")
 			}
 		})
@@ -132,13 +144,13 @@ func TestReset(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			c := mk(4)
 			for i := 0; i < 4; i++ {
-				c.Insert(i, uint64(i+1))
+				c.Insert(ck(i), chash(i), uint64(i+1))
 			}
 			c.Reset()
 			if c.Len() != 0 {
 				t.Fatalf("Len = %d after Reset", c.Len())
 			}
-			c.Insert(9, 1) // still usable
+			c.Insert(ck(9), chash(9), 1) // still usable
 			if c.Len() != 1 {
 				t.Fatal("cache unusable after Reset")
 			}
@@ -146,34 +158,58 @@ func TestReset(t *testing.T) {
 	}
 }
 
-func TestLFUEvictsMinimumCount(t *testing.T) {
-	c := NewLFU[int](3)
-	c.Insert(1, 1)
-	c.Insert(2, 1)
-	c.Insert(3, 1)
-	c.Touch(1)
-	c.Touch(1)
-	c.Touch(2)
-	// counts: 1->3, 2->2, 3->1. Victim must be 3.
-	if v, _ := c.Victim(); v.Key != 3 {
-		t.Fatalf("victim = %d, want 3", v.Key)
+func TestEntryCarriesHash(t *testing.T) {
+	// Evicted/victim entries must carry the stored flow hash so the AFD
+	// can demote victims without rehashing.
+	for name, mk := range constructors {
+		t.Run(name, func(t *testing.T) {
+			c := mk(2)
+			c.Insert(ck(1), chash(1), 1)
+			c.Insert(ck(2), chash(2), 2)
+			if v, ok := c.Victim(); !ok || v.Hash != crc.FlowHash(v.Key) {
+				t.Fatalf("victim hash %#04x != FlowHash %#04x", v.Hash, crc.FlowHash(v.Key))
+			}
+			ev, did := c.Insert(ck(3), chash(3), 3)
+			if !did || ev.Hash != crc.FlowHash(ev.Key) {
+				t.Fatalf("evicted hash %#04x != FlowHash %#04x", ev.Hash, crc.FlowHash(ev.Key))
+			}
+			for _, e := range c.Entries() {
+				if e.Hash != crc.FlowHash(e.Key) {
+					t.Fatalf("entry hash %#04x != FlowHash %#04x", e.Hash, crc.FlowHash(e.Key))
+				}
+			}
+		})
 	}
-	ev, did := c.Insert(4, 1)
-	if !did || ev.Key != 3 || ev.Count != 1 {
+}
+
+func TestLFUEvictsMinimumCount(t *testing.T) {
+	c := NewLFU(3)
+	c.Insert(ck(1), chash(1), 1)
+	c.Insert(ck(2), chash(2), 1)
+	c.Insert(ck(3), chash(3), 1)
+	c.Touch(ck(1), chash(1))
+	c.Touch(ck(1), chash(1))
+	c.Touch(ck(2), chash(2))
+	// counts: 1->3, 2->2, 3->1. Victim must be 3.
+	if v, _ := c.Victim(); kid(v.Key) != 3 {
+		t.Fatalf("victim = %d, want 3", kid(v.Key))
+	}
+	ev, did := c.Insert(ck(4), chash(4), 1)
+	if !did || kid(ev.Key) != 3 || ev.Count != 1 {
 		t.Fatalf("evicted %+v (did=%v), want key 3 count 1", ev, did)
 	}
 }
 
 func TestLFUTieBreakIsLRU(t *testing.T) {
-	c := NewLFU[int](3)
-	c.Insert(1, 1)
-	c.Insert(2, 1)
-	c.Insert(3, 1)
-	c.Touch(1) // 1 now count 2
-	c.Touch(2) // 2 now count 2
-	c.Touch(3) // 3 now count 2 — all tied; 1 was touched longest ago
-	if v, _ := c.Victim(); v.Key != 1 {
-		t.Fatalf("victim = %d, want 1 (least recently touched among ties)", v.Key)
+	c := NewLFU(3)
+	c.Insert(ck(1), chash(1), 1)
+	c.Insert(ck(2), chash(2), 1)
+	c.Insert(ck(3), chash(3), 1)
+	c.Touch(ck(1), chash(1)) // 1 now count 2
+	c.Touch(ck(2), chash(2)) // 2 now count 2
+	c.Touch(ck(3), chash(3)) // 3 now count 2 — all tied; 1 was touched longest ago
+	if v, _ := c.Victim(); kid(v.Key) != 1 {
+		t.Fatalf("victim = %d, want 1 (least recently touched among ties)", kid(v.Key))
 	}
 }
 
@@ -181,18 +217,18 @@ func TestLFUVictimAlwaysMinimum(t *testing.T) {
 	// Property: after any op sequence, the victim's count is <= every
 	// resident count.
 	f := func(ops []uint8) bool {
-		c := NewLFU[int](8)
+		c := NewLFU(8)
 		for _, op := range ops {
 			key := int(op % 16)
 			switch {
 			case op < 128:
-				if _, ok := c.Touch(key); !ok {
-					c.Insert(key, 1)
+				if _, ok := c.Touch(ck(key), chash(key)); !ok {
+					c.Insert(ck(key), chash(key), 1)
 				}
 			case op < 200:
-				c.Insert(key, uint64(op%5)+1)
+				c.Insert(ck(key), chash(key), uint64(op%5)+1)
 			default:
-				c.Remove(key)
+				c.Remove(ck(key), chash(key))
 			}
 			v, ok := c.Victim()
 			if !ok {
@@ -217,21 +253,21 @@ func TestLFUVictimAlwaysMinimum(t *testing.T) {
 func TestLFUInternalConsistency(t *testing.T) {
 	// Random workout, then verify Entries() agrees with a shadow map.
 	rng := rand.New(rand.NewPCG(42, 43))
-	c := NewLFU[int](32)
+	c := NewLFU(32)
 	shadow := map[int]uint64{}
 	for i := 0; i < 20000; i++ {
 		key := int(rng.Int32N(100))
 		switch rng.Int32N(10) {
 		case 0:
-			if c.Remove(key) {
+			if c.Remove(ck(key), chash(key)) {
 				delete(shadow, key)
 			}
 		default:
-			if n, ok := c.Touch(key); ok {
+			if n, ok := c.Touch(ck(key), chash(key)); ok {
 				shadow[key] = n
 			} else {
-				if ev, did := c.Insert(key, 1); did {
-					delete(shadow, ev.Key)
+				if ev, did := c.Insert(ck(key), chash(key), 1); did {
+					delete(shadow, kid(ev.Key))
 				}
 				shadow[key] = 1
 			}
@@ -241,18 +277,18 @@ func TestLFUInternalConsistency(t *testing.T) {
 		t.Fatalf("Len = %d, shadow = %d", c.Len(), len(shadow))
 	}
 	for _, e := range c.Entries() {
-		if shadow[e.Key] != e.Count {
-			t.Fatalf("key %d count %d, shadow %d", e.Key, e.Count, shadow[e.Key])
+		if shadow[kid(e.Key)] != e.Count {
+			t.Fatalf("key %d count %d, shadow %d", kid(e.Key), e.Count, shadow[kid(e.Key)])
 		}
 	}
 }
 
 func TestLFUKeysOrderedByCount(t *testing.T) {
-	c := NewLFU[int](8)
+	c := NewLFU(8)
 	for i := 0; i < 8; i++ {
-		c.Insert(i, 1)
+		c.Insert(ck(i), chash(i), 1)
 		for j := 0; j < i; j++ {
-			c.Touch(i)
+			c.Touch(ck(i), chash(i))
 		}
 	}
 	es := c.Entries()
@@ -261,38 +297,38 @@ func TestLFUKeysOrderedByCount(t *testing.T) {
 			t.Fatalf("Entries not in ascending count order: %v", es)
 		}
 	}
-	if es[0].Key != 0 {
-		t.Fatalf("first entry (victim) = %d, want 0", es[0].Key)
+	if kid(es[0].Key) != 0 {
+		t.Fatalf("first entry (victim) = %d, want 0", kid(es[0].Key))
 	}
 }
 
 func TestLRUEvictsLeastRecent(t *testing.T) {
-	c := NewLRU[int](3)
-	c.Insert(1, 1)
-	c.Insert(2, 1)
-	c.Insert(3, 1)
-	c.Touch(1) // order now (MRU→LRU): 1,3,2
-	ev, did := c.Insert(4, 1)
-	if !did || ev.Key != 2 {
+	c := NewLRU(3)
+	c.Insert(ck(1), chash(1), 1)
+	c.Insert(ck(2), chash(2), 1)
+	c.Insert(ck(3), chash(3), 1)
+	c.Touch(ck(1), chash(1)) // order now (MRU→LRU): 1,3,2
+	ev, did := c.Insert(ck(4), chash(4), 1)
+	if !did || kid(ev.Key) != 2 {
 		t.Fatalf("evicted %+v, want key 2", ev)
 	}
-	if v, _ := c.Victim(); v.Key != 3 {
-		t.Fatalf("victim = %d, want 3", v.Key)
+	if v, _ := c.Victim(); kid(v.Key) != 3 {
+		t.Fatalf("victim = %d, want 3", kid(v.Key))
 	}
 }
 
 func TestLRUIgnoresFrequency(t *testing.T) {
-	c := NewLRU[int](2)
-	c.Insert(1, 1)
+	c := NewLRU(2)
+	c.Insert(ck(1), chash(1), 1)
 	for i := 0; i < 100; i++ {
-		c.Touch(1)
+		c.Touch(ck(1), chash(1))
 	}
-	c.Insert(2, 1)
-	c.Touch(2)
+	c.Insert(ck(2), chash(2), 1)
+	c.Touch(ck(2), chash(2))
 	// 1 is hot but least recent → LRU evicts it; LFU would not.
-	ev, _ := c.Insert(3, 1)
-	if ev.Key != 1 {
-		t.Fatalf("LRU evicted %d, want 1", ev.Key)
+	ev, _ := c.Insert(ck(3), chash(3), 1)
+	if kid(ev.Key) != 1 {
+		t.Fatalf("LRU evicted %d, want 1", kid(ev.Key))
 	}
 }
 
@@ -301,7 +337,7 @@ func TestKeysMatchEntries(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			c := mk(8)
 			for i := 0; i < 12; i++ {
-				c.Insert(i, uint64(i%3)+1)
+				c.Insert(ck(i), chash(i), uint64(i%3)+1)
 			}
 			keys := c.Keys()
 			entries := c.Entries()
@@ -328,9 +364,9 @@ func TestDeterministicEvictionSequence(t *testing.T) {
 				var evs []int
 				for i := 0; i < 5000; i++ {
 					k := int(rng.Int32N(64))
-					if _, ok := c.Touch(k); !ok {
-						if ev, did := c.Insert(k, 1); did {
-							evs = append(evs, ev.Key)
+					if _, ok := c.Touch(ck(k), chash(k)); !ok {
+						if ev, did := c.Insert(ck(k), chash(k), 1); did {
+							evs = append(evs, kid(ev.Key))
 						}
 					}
 				}
@@ -352,54 +388,93 @@ func TestDeterministicEvictionSequence(t *testing.T) {
 func TestLFUHotKeysSurviveChurn(t *testing.T) {
 	// The property the AFD depends on: a few hot keys survive a storm of
 	// one-hit wonders in an LFU cache.
-	c := NewLFU[int](16)
+	c := NewLFU(16)
 	hot := []int{1000, 1001, 1002, 1003}
 	for _, h := range hot {
-		c.Insert(h, 1)
+		c.Insert(ck(h), chash(h), 1)
 	}
 	rng := rand.New(rand.NewPCG(9, 9))
 	for i := 0; i < 100000; i++ {
 		for _, h := range hot {
-			c.Touch(h)
+			c.Touch(ck(h), chash(h))
 		}
 		k := int(rng.Int32N(1 << 20))
-		if _, ok := c.Touch(k); !ok {
-			c.Insert(k, 1)
+		if _, ok := c.Touch(ck(k), chash(k)); !ok {
+			c.Insert(ck(k), chash(k), 1)
 		}
 	}
 	for _, h := range hot {
-		if _, ok := c.Count(h); !ok {
+		if _, ok := c.Count(ck(h), chash(h)); !ok {
 			t.Fatalf("hot key %d evicted by churn", h)
 		}
 	}
 }
 
-func BenchmarkLFUTouchHit(b *testing.B) {
-	c := NewLFU[uint64](1024)
-	for i := uint64(0); i < 1024; i++ {
-		c.Insert(i, 1)
+func TestSteadyStateAllocFree(t *testing.T) {
+	// A full cache in insert+evict churn must not allocate: this is the
+	// per-missed-packet path of the AFD annex.
+	c := NewLFU(256)
+	for i := 0; i < 4096; i++ {
+		c.Insert(ck(i), chash(i), 1)
 	}
+	keys := make([]Key, 1024)
+	hashes := make([]uint16, 1024)
+	for i := range keys {
+		keys[i], hashes[i] = ck(i+5000), chash(i+5000)
+	}
+	n := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		j := n & 1023
+		n++
+		if _, ok := c.Touch(keys[j], hashes[j]); !ok {
+			c.Insert(keys[j], hashes[j], 1)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", allocs)
+	}
+}
+
+func BenchmarkLFUTouchHit(b *testing.B) {
+	c := NewLFU(1024)
+	keys := make([]Key, 1024)
+	hashes := make([]uint16, 1024)
+	for i := range keys {
+		keys[i], hashes[i] = ck(i), chash(i)
+		c.Insert(keys[i], hashes[i], 1)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Touch(uint64(i) & 1023)
+		c.Touch(keys[i&1023], hashes[i&1023])
 	}
 }
 
 func BenchmarkLFUInsertEvict(b *testing.B) {
-	c := NewLFU[uint64](1024)
+	c := NewLFU(1024)
+	keys := make([]Key, 8192)
+	hashes := make([]uint16, 8192)
+	for i := range keys {
+		keys[i], hashes[i] = ck(i), chash(i)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Insert(uint64(i), 1)
+		c.Insert(keys[i&8191], hashes[i&8191], 1)
 	}
 }
 
 func BenchmarkLRUTouchHit(b *testing.B) {
-	c := NewLRU[uint64](1024)
-	for i := uint64(0); i < 1024; i++ {
-		c.Insert(i, 1)
+	c := NewLRU(1024)
+	keys := make([]Key, 1024)
+	hashes := make([]uint16, 1024)
+	for i := range keys {
+		keys[i], hashes[i] = ck(i), chash(i)
+		c.Insert(keys[i], hashes[i], 1)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Touch(uint64(i) & 1023)
+		c.Touch(keys[i&1023], hashes[i&1023])
 	}
 }

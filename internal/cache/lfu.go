@@ -1,23 +1,28 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"laps/internal/flowtab"
+)
 
 // lfuNode is one resident entry. Nodes form a doubly-linked list within
 // their frequency bucket, ordered by recency (head = most recent).
-type lfuNode[K comparable] struct {
-	key        K
+type lfuNode struct {
+	key        Key
+	hash       uint16 // cached flow hash, for O(1) index ops at eviction
 	count      uint64
-	prev, next *lfuNode[K]
-	bucket     *lfuBucket[K]
+	prev, next *lfuNode
+	bucket     *lfuBucket
 }
 
 // lfuBucket groups all entries that share a reference count. Buckets form
 // a doubly-linked list in ascending count order; the first bucket holds
 // the eviction candidates.
-type lfuBucket[K comparable] struct {
+type lfuBucket struct {
 	count      uint64
-	head, tail *lfuNode[K] // recency list: head = most recently touched
-	prev, next *lfuBucket[K]
+	head, tail *lfuNode // recency list: head = most recently touched
+	prev, next *lfuBucket
 	size       int
 }
 
@@ -25,35 +30,37 @@ type lfuBucket[K comparable] struct {
 // Ties among minimum-count entries are broken by evicting the least
 // recently touched, which gives heavy-hitter detection the "inertia"
 // the paper relies on.
-type LFU[K comparable] struct {
+type LFU struct {
 	capacity int
-	items    map[K]*lfuNode[K]
-	min      *lfuBucket[K] // bucket list head (smallest count), nil when empty
+	items    *flowtab.Table[*lfuNode]
+	min      *lfuBucket // bucket list head (smallest count), nil when empty
+	max      *lfuBucket // bucket list tail (largest count), nil when empty
+	hint     *lfuBucket // last bucketFor result; interior searches start here
 
 	// Free lists recycle nodes and buckets: the steady state of a full
 	// cache is one insert+evict per miss, which would otherwise allocate
 	// on every missed packet.
-	freeNodes   *lfuNode[K]
-	freeBuckets *lfuBucket[K]
+	freeNodes   *lfuNode
+	freeBuckets *lfuBucket
 }
 
 // NewLFU returns an empty LFU cache. capacity must be >= 1.
-func NewLFU[K comparable](capacity int) *LFU[K] {
+func NewLFU(capacity int) *LFU {
 	if capacity < 1 {
 		panic(fmt.Sprintf("cache: LFU capacity %d < 1", capacity))
 	}
-	return &LFU[K]{capacity: capacity, items: make(map[K]*lfuNode[K], capacity)}
+	return &LFU{capacity: capacity, items: flowtab.New[*lfuNode](capacity)}
 }
 
 // Len returns the number of resident entries.
-func (c *LFU[K]) Len() int { return len(c.items) }
+func (c *LFU) Len() int { return c.items.Len() }
 
 // Cap returns the capacity.
-func (c *LFU[K]) Cap() int { return c.capacity }
+func (c *LFU) Cap() int { return c.capacity }
 
 // Count returns the key's count without updating recency.
-func (c *LFU[K]) Count(k K) (uint64, bool) {
-	n, ok := c.items[k]
+func (c *LFU) Count(k Key, h uint16) (uint64, bool) {
+	n, ok := c.items.Get(k, h)
 	if !ok {
 		return 0, false
 	}
@@ -61,8 +68,8 @@ func (c *LFU[K]) Count(k K) (uint64, bool) {
 }
 
 // Touch increments a resident key's count and returns the new value.
-func (c *LFU[K]) Touch(k K) (uint64, bool) {
-	n, ok := c.items[k]
+func (c *LFU) Touch(k Key, h uint16) (uint64, bool) {
+	n, ok := c.items.Get(k, h)
 	if !ok {
 		return 0, false
 	}
@@ -71,7 +78,7 @@ func (c *LFU[K]) Touch(k K) (uint64, bool) {
 }
 
 // promote moves n from its bucket to the bucket for count+1.
-func (c *LFU[K]) promote(n *lfuNode[K]) {
+func (c *LFU) promote(n *lfuNode) {
 	b := n.bucket
 	target := b.next
 	newCount := n.count + 1
@@ -89,8 +96,8 @@ func (c *LFU[K]) promote(n *lfuNode[K]) {
 }
 
 // Insert adds k with the given count, evicting the victim if full.
-func (c *LFU[K]) Insert(k K, count uint64) (Entry[K], bool) {
-	if n, ok := c.items[k]; ok {
+func (c *LFU) Insert(k Key, h uint16, count uint64) (Entry, bool) {
+	if n, ok := c.items.Get(k, h); ok {
 		// Resident: move to the bucket for the new count.
 		b := n.bucket
 		c.unlinkNode(n)
@@ -99,35 +106,35 @@ func (c *LFU[K]) Insert(k K, count uint64) (Entry[K], bool) {
 		}
 		n.count = count
 		c.pushNode(c.bucketFor(count), n)
-		return Entry[K]{}, false
+		return Entry{}, false
 	}
-	var evicted Entry[K]
+	var evicted Entry
 	var did bool
-	if len(c.items) >= c.capacity {
+	if c.items.Len() >= c.capacity {
 		v := c.min.tail // least recently touched among minimum count
-		evicted = Entry[K]{Key: v.key, Count: v.count}
+		evicted = Entry{Key: v.key, Hash: v.hash, Count: v.count}
 		did = true
 		c.deleteNode(v)
 	}
-	n := c.newNode(k, count)
-	c.items[k] = n
+	n := c.newNode(k, h, count)
+	c.items.Put(k, h, n)
 	c.pushNode(c.bucketFor(count), n)
 	return evicted, did
 }
 
 // newNode takes a node from the free list or allocates one.
-func (c *LFU[K]) newNode(k K, count uint64) *lfuNode[K] {
+func (c *LFU) newNode(k Key, h uint16, count uint64) *lfuNode {
 	if n := c.freeNodes; n != nil {
 		c.freeNodes = n.next
-		n.key, n.count, n.prev, n.next, n.bucket = k, count, nil, nil, nil
+		n.key, n.hash, n.count, n.prev, n.next, n.bucket = k, h, count, nil, nil, nil
 		return n
 	}
-	return &lfuNode[K]{key: k, count: count}
+	return &lfuNode{key: k, hash: h, count: count}
 }
 
 // Remove evicts a specific key.
-func (c *LFU[K]) Remove(k K) bool {
-	n, ok := c.items[k]
+func (c *LFU) Remove(k Key, h uint16) bool {
+	n, ok := c.items.Get(k, h)
 	if !ok {
 		return false
 	}
@@ -136,17 +143,17 @@ func (c *LFU[K]) Remove(k K) bool {
 }
 
 // Victim returns the entry Insert would evict next.
-func (c *LFU[K]) Victim() (Entry[K], bool) {
+func (c *LFU) Victim() (Entry, bool) {
 	if c.min == nil {
-		return Entry[K]{}, false
+		return Entry{}, false
 	}
 	v := c.min.tail
-	return Entry[K]{Key: v.key, Count: v.count}, true
+	return Entry{Key: v.key, Hash: v.hash, Count: v.count}, true
 }
 
 // Keys returns resident keys in eviction order (victim first).
-func (c *LFU[K]) Keys() []K {
-	keys := make([]K, 0, len(c.items))
+func (c *LFU) Keys() []Key {
+	keys := make([]Key, 0, c.items.Len())
 	for b := c.min; b != nil; b = b.next {
 		for n := b.tail; n != nil; n = n.prev {
 			keys = append(keys, n.key)
@@ -156,69 +163,112 @@ func (c *LFU[K]) Keys() []K {
 }
 
 // Entries returns resident entries in eviction order (victim first).
-func (c *LFU[K]) Entries() []Entry[K] {
-	es := make([]Entry[K], 0, len(c.items))
+func (c *LFU) Entries() []Entry {
+	es := make([]Entry, 0, c.items.Len())
 	for b := c.min; b != nil; b = b.next {
 		for n := b.tail; n != nil; n = n.prev {
-			es = append(es, Entry[K]{Key: n.key, Count: n.count})
+			es = append(es, Entry{Key: n.key, Hash: n.hash, Count: n.count})
 		}
 	}
 	return es
 }
 
 // Reset evicts everything.
-func (c *LFU[K]) Reset() {
-	c.items = make(map[K]*lfuNode[K], c.capacity)
+func (c *LFU) Reset() {
+	c.items.Reset()
 	c.min = nil
+	c.max = nil
+	c.hint = nil
 	c.freeNodes = nil
 	c.freeBuckets = nil
 }
 
 // bucketFor finds or creates the bucket with exactly the given count,
-// keeping the bucket list sorted ascending.
-func (c *LFU[K]) bucketFor(count uint64) *lfuBucket[K] {
-	var prev *lfuBucket[K]
-	b := c.min
-	for b != nil && b.count < count {
-		prev, b = b, b.next
+// keeping the bucket list sorted ascending. Both ends are O(1), which
+// covers the two dominant insert shapes: fresh flows at count 1 and
+// demoted AFC victims whose count exceeds every resident. Interior
+// counts (victim-cache demotions below stale earlier demotions) resume
+// from the previous result; successive demotions carry similar counts,
+// so the walk is short in steady state.
+func (c *LFU) bucketFor(count uint64) *lfuBucket {
+	if c.min == nil || count <= c.min.count {
+		if c.min != nil && c.min.count == count {
+			return c.min
+		}
+		nb := c.newBucket(count)
+		c.insertBucketAfter(nb, nil)
+		return nb
 	}
-	if b != nil && b.count == count {
+	if count >= c.max.count {
+		if c.max.count == count {
+			return c.max
+		}
+		nb := c.newBucket(count)
+		c.insertBucketAfter(nb, c.max)
+		return nb
+	}
+	// Interior: min.count < count < max.count, so a predecessor bucket
+	// exists on both sides of every step below.
+	b := c.hint
+	if b == nil {
+		b = c.min
+	}
+	for b.count > count {
+		b = b.prev
+	}
+	for b.next != nil && b.next.count <= count {
+		b = b.next
+	}
+	if b.count == count {
+		c.hint = b
 		return b
 	}
 	nb := c.newBucket(count)
-	c.insertBucketAfter(nb, prev)
+	c.insertBucketAfter(nb, b)
+	c.hint = nb
 	return nb
 }
 
 // newBucket takes a bucket from the free list or allocates one.
-func (c *LFU[K]) newBucket(count uint64) *lfuBucket[K] {
+func (c *LFU) newBucket(count uint64) *lfuBucket {
 	if b := c.freeBuckets; b != nil {
 		c.freeBuckets = b.next
 		b.count, b.head, b.tail, b.prev, b.next, b.size = count, nil, nil, nil, nil, 0
 		return b
 	}
-	return &lfuBucket[K]{count: count}
+	return &lfuBucket{count: count}
 }
 
 // insertBucketAfter links nb after prev (prev == nil means at the head).
-func (c *LFU[K]) insertBucketAfter(nb, prev *lfuBucket[K]) {
+func (c *LFU) insertBucketAfter(nb, prev *lfuBucket) {
 	if prev == nil {
 		nb.next = c.min
 		if c.min != nil {
 			c.min.prev = nb
 		}
 		c.min = nb
+		if nb.next == nil {
+			c.max = nb
+		}
 		return
 	}
 	nb.prev = prev
 	nb.next = prev.next
 	if prev.next != nil {
 		prev.next.prev = nb
+	} else {
+		c.max = nb
 	}
 	prev.next = nb
 }
 
-func (c *LFU[K]) removeBucket(b *lfuBucket[K]) {
+func (c *LFU) removeBucket(b *lfuBucket) {
+	if c.hint == b {
+		c.hint = b.prev
+	}
+	if c.max == b {
+		c.max = b.prev
+	}
 	if b.prev != nil {
 		b.prev.next = b.next
 	} else {
@@ -233,7 +283,7 @@ func (c *LFU[K]) removeBucket(b *lfuBucket[K]) {
 }
 
 // pushNode places n at the head (most recent) of bucket b.
-func (c *LFU[K]) pushNode(b *lfuBucket[K], n *lfuNode[K]) {
+func (c *LFU) pushNode(b *lfuBucket, n *lfuNode) {
 	n.bucket = b
 	n.prev = nil
 	n.next = b.head
@@ -248,7 +298,7 @@ func (c *LFU[K]) pushNode(b *lfuBucket[K], n *lfuNode[K]) {
 }
 
 // unlinkNode detaches n from its bucket's recency list.
-func (c *LFU[K]) unlinkNode(n *lfuNode[K]) {
+func (c *LFU) unlinkNode(n *lfuNode) {
 	b := n.bucket
 	if n.prev != nil {
 		n.prev.next = n.next
@@ -265,15 +315,14 @@ func (c *LFU[K]) unlinkNode(n *lfuNode[K]) {
 }
 
 // deleteNode fully removes n from the cache and recycles it.
-func (c *LFU[K]) deleteNode(n *lfuNode[K]) {
+func (c *LFU) deleteNode(n *lfuNode) {
 	b := n.bucket
 	c.unlinkNode(n)
 	if b.size == 0 {
 		c.removeBucket(b)
 	}
-	delete(c.items, n.key)
-	var zero K
-	n.key = zero
+	c.items.Delete(n.key, n.hash)
+	n.key = Key{}
 	n.next = c.freeNodes
 	c.freeNodes = n
 }

@@ -1,42 +1,47 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"laps/internal/flowtab"
+)
 
 // lruNode is one resident entry on the recency list.
-type lruNode[K comparable] struct {
-	key        K
+type lruNode struct {
+	key        Key
+	hash       uint16
 	count      uint64
-	prev, next *lruNode[K]
+	prev, next *lruNode
 }
 
 // LRU is a least-recently-used cache with the same interface as LFU.
 // Reference counts are still maintained (Touch increments) so the AFD's
 // promotion threshold works identically; only the eviction choice
 // differs. Used by the replacement-policy ablation (DESIGN.md §5).
-type LRU[K comparable] struct {
+type LRU struct {
 	capacity   int
-	items      map[K]*lruNode[K]
-	head, tail *lruNode[K] // head = most recent, tail = next victim
-	free       *lruNode[K] // recycled nodes
+	items      *flowtab.Table[*lruNode]
+	head, tail *lruNode // head = most recent, tail = next victim
+	free       *lruNode // recycled nodes
 }
 
 // NewLRU returns an empty LRU cache. capacity must be >= 1.
-func NewLRU[K comparable](capacity int) *LRU[K] {
+func NewLRU(capacity int) *LRU {
 	if capacity < 1 {
 		panic(fmt.Sprintf("cache: LRU capacity %d < 1", capacity))
 	}
-	return &LRU[K]{capacity: capacity, items: make(map[K]*lruNode[K], capacity)}
+	return &LRU{capacity: capacity, items: flowtab.New[*lruNode](capacity)}
 }
 
 // Len returns the number of resident entries.
-func (c *LRU[K]) Len() int { return len(c.items) }
+func (c *LRU) Len() int { return c.items.Len() }
 
 // Cap returns the capacity.
-func (c *LRU[K]) Cap() int { return c.capacity }
+func (c *LRU) Cap() int { return c.capacity }
 
 // Count returns the key's count without updating recency.
-func (c *LRU[K]) Count(k K) (uint64, bool) {
-	n, ok := c.items[k]
+func (c *LRU) Count(k Key, h uint16) (uint64, bool) {
+	n, ok := c.items.Get(k, h)
 	if !ok {
 		return 0, false
 	}
@@ -44,8 +49,8 @@ func (c *LRU[K]) Count(k K) (uint64, bool) {
 }
 
 // Touch increments the key's count and moves it to the front.
-func (c *LRU[K]) Touch(k K) (uint64, bool) {
-	n, ok := c.items[k]
+func (c *LRU) Touch(k Key, h uint16) (uint64, bool) {
+	n, ok := c.items.Get(k, h)
 	if !ok {
 		return 0, false
 	}
@@ -55,60 +60,59 @@ func (c *LRU[K]) Touch(k K) (uint64, bool) {
 }
 
 // Insert adds k with the given count, evicting the tail if full.
-func (c *LRU[K]) Insert(k K, count uint64) (Entry[K], bool) {
-	if n, ok := c.items[k]; ok {
+func (c *LRU) Insert(k Key, h uint16, count uint64) (Entry, bool) {
+	if n, ok := c.items.Get(k, h); ok {
 		n.count = count
 		c.moveToFront(n)
-		return Entry[K]{}, false
+		return Entry{}, false
 	}
-	var evicted Entry[K]
+	var evicted Entry
 	var did bool
-	if len(c.items) >= c.capacity {
+	if c.items.Len() >= c.capacity {
 		v := c.tail
-		evicted = Entry[K]{Key: v.key, Count: v.count}
+		evicted = Entry{Key: v.key, Hash: v.hash, Count: v.count}
 		did = true
 		c.unlink(v)
-		delete(c.items, v.key)
-		var zero K
-		v.key = zero
+		c.items.Delete(v.key, v.hash)
+		v.key = Key{}
 		v.next = c.free
 		c.free = v
 	}
-	var n *lruNode[K]
+	var n *lruNode
 	if c.free != nil {
 		n = c.free
 		c.free = n.next
-		n.key, n.count, n.prev, n.next = k, count, nil, nil
+		n.key, n.hash, n.count, n.prev, n.next = k, h, count, nil, nil
 	} else {
-		n = &lruNode[K]{key: k, count: count}
+		n = &lruNode{key: k, hash: h, count: count}
 	}
-	c.items[k] = n
+	c.items.Put(k, h, n)
 	c.pushFront(n)
 	return evicted, did
 }
 
 // Remove evicts a specific key.
-func (c *LRU[K]) Remove(k K) bool {
-	n, ok := c.items[k]
+func (c *LRU) Remove(k Key, h uint16) bool {
+	n, ok := c.items.Get(k, h)
 	if !ok {
 		return false
 	}
 	c.unlink(n)
-	delete(c.items, k)
+	c.items.Delete(k, h)
 	return true
 }
 
 // Victim returns the least recently used entry.
-func (c *LRU[K]) Victim() (Entry[K], bool) {
+func (c *LRU) Victim() (Entry, bool) {
 	if c.tail == nil {
-		return Entry[K]{}, false
+		return Entry{}, false
 	}
-	return Entry[K]{Key: c.tail.key, Count: c.tail.count}, true
+	return Entry{Key: c.tail.key, Hash: c.tail.hash, Count: c.tail.count}, true
 }
 
 // Keys returns resident keys in eviction order (victim first).
-func (c *LRU[K]) Keys() []K {
-	keys := make([]K, 0, len(c.items))
+func (c *LRU) Keys() []Key {
+	keys := make([]Key, 0, c.items.Len())
 	for n := c.tail; n != nil; n = n.prev {
 		keys = append(keys, n.key)
 	}
@@ -116,22 +120,22 @@ func (c *LRU[K]) Keys() []K {
 }
 
 // Entries returns resident entries in eviction order (victim first).
-func (c *LRU[K]) Entries() []Entry[K] {
-	es := make([]Entry[K], 0, len(c.items))
+func (c *LRU) Entries() []Entry {
+	es := make([]Entry, 0, c.items.Len())
 	for n := c.tail; n != nil; n = n.prev {
-		es = append(es, Entry[K]{Key: n.key, Count: n.count})
+		es = append(es, Entry{Key: n.key, Hash: n.hash, Count: n.count})
 	}
 	return es
 }
 
 // Reset evicts everything.
-func (c *LRU[K]) Reset() {
-	c.items = make(map[K]*lruNode[K], c.capacity)
+func (c *LRU) Reset() {
+	c.items.Reset()
 	c.head, c.tail = nil, nil
 	c.free = nil
 }
 
-func (c *LRU[K]) moveToFront(n *lruNode[K]) {
+func (c *LRU) moveToFront(n *lruNode) {
 	if c.head == n {
 		return
 	}
@@ -139,7 +143,7 @@ func (c *LRU[K]) moveToFront(n *lruNode[K]) {
 	c.pushFront(n)
 }
 
-func (c *LRU[K]) pushFront(n *lruNode[K]) {
+func (c *LRU) pushFront(n *lruNode) {
 	n.prev = nil
 	n.next = c.head
 	if c.head != nil {
@@ -151,7 +155,7 @@ func (c *LRU[K]) pushFront(n *lruNode[K]) {
 	}
 }
 
-func (c *LRU[K]) unlink(n *lruNode[K]) {
+func (c *LRU) unlink(n *lruNode) {
 	if n.prev != nil {
 		n.prev.next = n.next
 	} else {

@@ -256,17 +256,22 @@ func (l *LAPS) Target(p *packet.Packet, v npsim.View) int {
 	if int(p.Service) >= len(l.svc) {
 		panic(fmt.Sprintf("core: packet for unconfigured service %d", p.Service))
 	}
-	l.maybeScan(v)
+	// One clock read and one hash per decision: the hash is normally a
+	// cached-field read (primed at ingress), and every lookup below —
+	// AFD, migration table, map table — reuses the same two values.
+	now := v.Now()
+	h := crc.PacketHash(p)
+	l.maybeScan(v, now)
 	st := l.svc[p.Service]
 
 	// Background training of the AFD (off the critical path in hardware).
-	st.det.Observe(p.Flow)
+	st.det.ObserveH(p.Flow, h)
 
 	// 1) Migration table has priority over the map table.
-	target, migrated := st.mig.Get(p.Flow, v.Now())
+	target, migrated := st.mig.GetH(p.Flow, h, now)
 	if !migrated {
 		// 2) Map table lookup via incremental hash.
-		target = st.cores[st.lh.Index(uint32(crc.FlowHash(p.Flow)))]
+		target = st.cores[st.lh.Index(uint32(h))]
 	}
 
 	// 3) Load-imbalance handling (Listing 1).
@@ -274,9 +279,9 @@ func (l *LAPS) Target(p *packet.Packet, v npsim.View) int {
 	if v.QueueLen(target) >= high {
 		minc := l.minQueue(st, v)
 		if v.QueueLen(minc) < high {
-			if minc != target && st.det.IsAggressive(p.Flow) {
-				st.mig.Put(p.Flow, minc, v.Now())
-				st.det.Invalidate(p.Flow)
+			if minc != target && st.det.IsAggressiveH(p.Flow, h) {
+				st.mig.PutH(p.Flow, h, minc, now)
+				st.det.InvalidateH(p.Flow, h)
 				l.stats.Migrations++
 				if l.rec != nil {
 					l.rec.Emit(obs.Event{Kind: obs.EvFlowMigration, Service: int16(p.Service),
@@ -297,10 +302,10 @@ func (l *LAPS) Target(p *packet.Packet, v npsim.View) int {
 				// Re-resolve through the grown map table; flows of the
 				// split bucket (including possibly this one) now land on
 				// the empty stolen core.
-				if c, ok := st.mig.Get(p.Flow, v.Now()); ok {
+				if c, ok := st.mig.GetH(p.Flow, h, now); ok {
 					target = c
 				} else {
-					target = st.cores[st.lh.Index(uint32(crc.FlowHash(p.Flow)))]
+					target = st.cores[st.lh.Index(uint32(h))]
 				}
 			}
 		}
@@ -317,9 +322,9 @@ func (l *LAPS) highThresh(v npsim.View) int {
 }
 
 // maybeScan periodically marks long-idle cores surplus and unmarks
-// surplus cores that have traffic again (§III-D).
-func (l *LAPS) maybeScan(v npsim.View) {
-	now := v.Now()
+// surplus cores that have traffic again (§III-D). now must be v.Now(),
+// passed in so the caller's clock read is not repeated.
+func (l *LAPS) maybeScan(v npsim.View, now sim.Time) {
 	if l.lastScan >= 0 && now-l.lastScan < l.cfg.ScanInterval {
 		return
 	}

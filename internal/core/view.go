@@ -2,6 +2,7 @@ package core
 
 import (
 	"laps/internal/crc"
+	"laps/internal/flowtab"
 	"laps/internal/lhash"
 	"laps/internal/npsim"
 	"laps/internal/packet"
@@ -28,11 +29,14 @@ type ForwardingView struct {
 	svcs []svcForwarding
 }
 
-// svcForwarding is one service's frozen lookup state.
+// svcForwarding is one service's frozen lookup state. mig is the
+// migration table's shared snapshot (nil when there are no overrides —
+// the common case — so the fast path skips the lookup entirely); afc is
+// likewise nil when the AFC was empty at snapshot time.
 type svcForwarding struct {
 	cores      []int // bucket index -> core ID
 	m, buckets int   // linear-hash state (lhash.IndexIn)
-	mig        map[packet.FlowKey]int
+	mig        *flowtab.Table[int32]
 	afc        map[packet.FlowKey]struct{}
 }
 
@@ -42,10 +46,13 @@ type svcForwarding struct {
 // steals, splits) left to the scheduler that published the view.
 func (v *ForwardingView) Forward(p *packet.Packet) int {
 	s := &v.svcs[p.Service]
-	if c, ok := s.mig[p.Flow]; ok {
-		return c
+	h := crc.PacketHash(p)
+	if s.mig != nil {
+		if c, ok := s.mig.Get(p.Flow, h); ok {
+			return int(c)
+		}
 	}
-	return s.cores[lhash.IndexIn(s.m, s.buckets, uint32(crc.FlowHash(p.Flow)))]
+	return s.cores[lhash.IndexIn(s.m, s.buckets, uint32(h))]
 }
 
 // Services returns how many services the view covers.
@@ -58,13 +65,22 @@ func (v *ForwardingView) CoresOf(s packet.ServiceID) []int {
 
 // Migrated reports service s's migration-table override for f, if any.
 func (v *ForwardingView) Migrated(s packet.ServiceID, f packet.FlowKey) (int, bool) {
-	c, ok := v.svcs[s].mig[f]
-	return c, ok
+	m := v.svcs[s].mig
+	if m == nil {
+		return 0, false
+	}
+	c, ok := m.Get(f, crc.FlowHash(f))
+	return int(c), ok
 }
 
 // MigEntries returns the number of migration-table overrides captured
 // for service s.
-func (v *ForwardingView) MigEntries(s packet.ServiceID) int { return len(v.svcs[s].mig) }
+func (v *ForwardingView) MigEntries(s packet.ServiceID) int {
+	if v.svcs[s].mig == nil {
+		return 0
+	}
+	return v.svcs[s].mig.Len()
+}
 
 // Aggressive reports whether flow f sat in service s's AFC at snapshot
 // time. AFC membership is carried for introspection — the data plane
@@ -100,11 +116,12 @@ func (l *LAPS) Snapshot(now sim.Time) npsim.Forwarder {
 		sf := &v.svcs[i]
 		sf.cores = append([]int(nil), st.cores...)
 		sf.m, sf.buckets = st.lh.Base(), st.lh.Buckets()
-		sf.mig = st.mig.Snapshot(now)
-		agg := st.det.Aggressive()
-		sf.afc = make(map[packet.FlowKey]struct{}, len(agg))
-		for _, f := range agg {
-			sf.afc[f] = struct{}{}
+		sf.mig = st.mig.Snapshot(now) // shared with the table's cache; read-only
+		if agg := st.det.Aggressive(); len(agg) > 0 {
+			sf.afc = make(map[packet.FlowKey]struct{}, len(agg))
+			for _, f := range agg {
+				sf.afc[f] = struct{}{}
+			}
 		}
 	}
 	return v

@@ -120,3 +120,32 @@ func BenchmarkFlowHash(b *testing.B) {
 }
 
 var sinkU16 uint16
+
+// TestPacketHashMatchesFlowHash pins the hash-once invariant at its
+// root: the lazy accessor and the unconditional primer both leave the
+// packet carrying exactly FlowHash(p.Flow), and a second call reuses
+// the cached value instead of recomputing.
+func TestPacketHashMatchesFlowHash(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		k := packet.FlowKey{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: proto}
+		want := FlowHash(k)
+
+		lazy := &packet.Packet{Flow: k}
+		if PacketHash(lazy) != want || !lazy.HashOK || lazy.Hash != want {
+			return false
+		}
+		// Corrupt the cache: the accessor must now return the cached
+		// value, proving it does not rehash once primed.
+		lazy.Hash = want + 1
+		if PacketHash(lazy) != want+1 {
+			return false
+		}
+
+		primed := &packet.Packet{Flow: k}
+		Prime(primed)
+		return primed.HashOK && primed.Hash == want && PacketHash(primed) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,8 @@
 package npsim
 
 import (
+	"laps/internal/crc"
+	"laps/internal/flowtab"
 	"laps/internal/packet"
 	"laps/internal/sim"
 	"laps/internal/stats"
@@ -25,20 +27,30 @@ import (
 // tracker can under-count reordering across eviction boundaries; the
 // Evicted counter makes that loss observable.
 type ReorderTracker struct {
-	// next[f] is one past the highest FlowSeq that has departed for f.
-	next      map[packet.FlowKey]uint64
+	// next holds, per flow, one past the highest FlowSeq that has
+	// departed. Open-addressed and keyed by the packet's cached flow
+	// hash: Record runs once per departing packet, so it must neither
+	// rehash the 13-byte key nor allocate in steady state.
+	next      *flowtab.Table[uint64]
 	ooo       uint64
 	delivered uint64
 
-	cap      int              // 0 = unbounded
-	fifo     []packet.FlowKey // insertion order, fifo[fifoHead:] are live
+	cap      int         // 0 = unbounded
+	fifo     []fifoEntry // insertion order, fifo[fifoHead:] are live
 	fifoHead int
 	evicted  uint64
 }
 
+// fifoEntry remembers an inserted flow with its hash so FIFO eviction
+// never rehashes.
+type fifoEntry struct {
+	key  packet.FlowKey
+	hash uint16
+}
+
 // NewReorderTracker returns an empty, unbounded tracker.
 func NewReorderTracker() *ReorderTracker {
-	return &ReorderTracker{next: make(map[packet.FlowKey]uint64, 1<<14)}
+	return &ReorderTracker{next: flowtab.New[uint64](1 << 14)}
 }
 
 // NewReorderTrackerCap returns a tracker that holds at most capacity
@@ -54,9 +66,9 @@ func NewReorderTrackerCap(capacity int) *ReorderTracker {
 		hint = 1 << 14
 	}
 	return &ReorderTracker{
-		next: make(map[packet.FlowKey]uint64, hint),
+		next: flowtab.New[uint64](hint),
 		cap:  capacity,
-		fifo: make([]packet.FlowKey, 0, hint),
+		fifo: make([]fifoEntry, 0, hint),
 	}
 }
 
@@ -64,15 +76,16 @@ func NewReorderTrackerCap(capacity int) *ReorderTracker {
 // order.
 func (r *ReorderTracker) Record(p *packet.Packet) bool {
 	r.delivered++
-	cur, seen := r.next[p.Flow]
+	h := crc.PacketHash(p)
+	cur, seen := r.next.Get(p.Flow, h)
 	if p.FlowSeq+1 > cur {
 		if !seen && r.cap > 0 {
-			if len(r.next) >= r.cap {
+			if r.next.Len() >= r.cap {
 				r.evictOldest()
 			}
-			r.fifo = append(r.fifo, p.Flow)
+			r.fifo = append(r.fifo, fifoEntry{key: p.Flow, hash: h})
 		}
-		r.next[p.Flow] = p.FlowSeq + 1
+		r.next.Put(p.Flow, h, p.FlowSeq+1)
 		return false
 	}
 	r.ooo++
@@ -81,8 +94,9 @@ func (r *ReorderTracker) Record(p *packet.Packet) bool {
 
 // evictOldest drops the least-recently-inserted flow's watermark.
 func (r *ReorderTracker) evictOldest() {
-	delete(r.next, r.fifo[r.fifoHead])
-	r.fifo[r.fifoHead] = packet.FlowKey{}
+	e := r.fifo[r.fifoHead]
+	r.next.Delete(e.key, e.hash)
+	r.fifo[r.fifoHead] = fifoEntry{}
 	r.fifoHead++
 	r.evicted++
 	// Compact the queue once the dead prefix dominates, keeping
@@ -105,20 +119,16 @@ func (r *ReorderTracker) Delivered() uint64 { return r.delivered }
 
 // Flows returns the number of distinct flows tracked — the tracker's
 // memory footprint is proportional to this.
-func (r *ReorderTracker) Flows() int { return len(r.next) }
+func (r *ReorderTracker) Flows() int { return r.next.Len() }
 
 // Reset discards all per-flow watermarks and zeroes the counters,
 // releasing the tracker's memory. Use at run boundaries when a single
 // tracker outlives many traffic windows. The capacity bound, if any,
 // is kept.
 func (r *ReorderTracker) Reset() {
-	// Match the constructor's sizing: a tracker bounded at cap < 1<<14
-	// must not reallocate a 16k-bucket map it can never fill.
-	hint := 1 << 14
-	if r.cap > 0 && r.cap < hint {
-		hint = r.cap
-	}
-	r.next = make(map[packet.FlowKey]uint64, hint)
+	// Keep the already-allocated slots (their size is already bounded
+	// by the constructor's hint plus observed growth).
+	r.next.Reset()
 	r.ooo = 0
 	r.delivered = 0
 	r.fifo = r.fifo[:0]

@@ -3,6 +3,8 @@ package npsim
 import (
 	"fmt"
 
+	"laps/internal/crc"
+	"laps/internal/flowtab"
 	"laps/internal/obs"
 	"laps/internal/packet"
 	"laps/internal/sim"
@@ -78,6 +80,7 @@ type core struct {
 	lastSvc   packet.ServiceID
 	idleSince sim.Time
 	busySince sim.Time
+	done      func() // pre-bound completion callback (avoids a closure per packet)
 
 	busyTotal sim.Time        // accumulated busy time
 	processed uint64          // packets completed on this core
@@ -122,7 +125,10 @@ type System struct {
 	shared    []*packet.Packet // FIFO shared queue (SharedQueue mode)
 	sharedCap int
 
-	flowLast map[packet.FlowKey]int32
+	// flowLast records, per flow, 1 + the last core it was enqueued on
+	// (0 = never seen), so migration detection is a single probe of an
+	// open-addressed table keyed by the packet's cached hash.
+	flowLast *flowtab.Table[int32]
 	reorder  *ReorderTracker
 	m        Metrics
 	rec      *obs.Recorder // nil = no telemetry
@@ -158,15 +164,17 @@ func New(eng *sim.Engine, cfg Config, sched Scheduler) *System {
 		cfg:       cfg,
 		sched:     sched,
 		sharedCap: cfg.SharedQueueCap,
-		flowLast:  make(map[packet.FlowKey]int32, 1<<14),
+		flowLast:  flowtab.New[int32](1 << 14),
 		reorder:   NewReorderTracker(),
 	}
 	for i := 0; i < cfg.NumCores; i++ {
-		s.cores = append(s.cores, &core{
+		co := &core{
 			id:      i,
 			ring:    make([]*packet.Packet, cfg.QueueCap),
 			lastSvc: noService,
-		})
+		}
+		co.done = func() { s.complete(co) }
+		s.cores = append(s.cores, co)
 	}
 	return s
 }
@@ -245,6 +253,7 @@ func (s *System) IdleFor(c int) sim.Time {
 func (s *System) Inject(p *packet.Packet) {
 	s.m.Injected++
 	s.m.PerSvcInjected[p.Service]++
+	crc.PacketHash(p) // ingress hash point: prime once, no-op if already primed
 
 	if s.cfg.SharedQueue {
 		s.injectShared(p)
@@ -271,11 +280,12 @@ func (s *System) enqueue(p *packet.Packet, co *core) {
 		}
 		return
 	}
-	if last, ok := s.flowLast[p.Flow]; ok && int(last) != co.id {
+	last := s.flowLast.Ref(p.Flow, crc.PacketHash(p))
+	if *last != 0 && int(*last-1) != co.id {
 		p.Migrated = true
 		s.m.Migrations++
 	}
-	s.flowLast[p.Flow] = int32(co.id)
+	*last = int32(co.id + 1)
 	p.Enqueued = s.eng.Now()
 	s.m.Enqueued++
 	if !co.busy {
@@ -292,11 +302,12 @@ func (s *System) injectShared(p *packet.Packet) {
 	// Hand to an idle core directly if any.
 	for _, co := range s.cores {
 		if !co.busy {
-			if last, ok := s.flowLast[p.Flow]; ok && int(last) != co.id {
+			last := s.flowLast.Ref(p.Flow, crc.PacketHash(p))
+			if *last != 0 && int(*last-1) != co.id {
 				p.Migrated = true
 				s.m.Migrations++
 			}
-			s.flowLast[p.Flow] = int32(co.id)
+			*last = int32(co.id + 1)
 			p.Enqueued = s.eng.Now()
 			s.m.Enqueued++
 			s.startProcessing(co, p)
@@ -338,7 +349,7 @@ func (s *System) startProcessing(co *core, p *packet.Packet) {
 	co.busy = true
 	co.current = p
 	co.busySince = s.eng.Now()
-	s.eng.After(d, func() { s.complete(co) })
+	s.eng.After(d, co.done)
 }
 
 // complete finishes the in-service packet on co and pulls the next one.
@@ -377,11 +388,12 @@ func (s *System) complete(co *core) {
 		next := s.shared[0]
 		copy(s.shared, s.shared[1:])
 		s.shared = s.shared[:len(s.shared)-1]
-		if last, ok := s.flowLast[next.Flow]; ok && int(last) != co.id {
+		last := s.flowLast.Ref(next.Flow, crc.PacketHash(next))
+		if *last != 0 && int(*last-1) != co.id {
 			next.Migrated = true
 			s.m.Migrations++
 		}
-		s.flowLast[next.Flow] = int32(co.id)
+		*last = int32(co.id + 1)
 		s.startProcessing(co, next)
 		return
 	}

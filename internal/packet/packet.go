@@ -121,6 +121,14 @@ type Packet struct {
 	Arrival sim.Time  // when the frame manager received it
 	FlowSeq uint64    // per-flow sequence number (0 = first packet)
 
+	// Hash caches crc.FlowHash(Flow), computed exactly once at ingress
+	// the way a hardware hash unit would (§III). HashOK distinguishes a
+	// primed hash from the zero value — 0 is a valid CRC16, so absence
+	// cannot be encoded in Hash itself. Use crc.PacketHash to read it;
+	// never consult Hash directly without checking HashOK.
+	Hash   uint16
+	HashOK bool
+
 	// Simulation bookkeeping, set as the packet moves through npsim.
 	Enqueued sim.Time // when it entered a core's input queue
 	Departed sim.Time // when processing finished

@@ -1,0 +1,41 @@
+package packet
+
+import "sync"
+
+// Pool recycles Packet descriptors so the live engine's steady state
+// performs zero heap allocations per packet: ingress takes descriptors
+// from the pool and the owning worker returns them at retirement (see
+// docs/PERFORMANCE.md for the ownership rules — nothing may hold a
+// *Packet after handing it back).
+//
+// A nil *Pool is valid and simply allocates on Get / discards on Put,
+// so call sites do not need to branch on whether pooling is enabled.
+type Pool struct {
+	p sync.Pool
+}
+
+// NewPool returns an empty packet pool.
+func NewPool() *Pool {
+	pl := &Pool{}
+	pl.p.New = func() any { return new(Packet) }
+	return pl
+}
+
+// Get returns a zeroed packet descriptor.
+func (pl *Pool) Get() *Packet {
+	if pl == nil {
+		return new(Packet)
+	}
+	return pl.p.Get().(*Packet)
+}
+
+// Put returns p to the pool. The caller must not retain any reference:
+// the descriptor is zeroed here and will be reused by a future Get.
+// Put(nil) is a no-op.
+func (pl *Pool) Put(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	*p = Packet{}
+	pl.p.Put(p)
+}

@@ -1,0 +1,80 @@
+//go:build !race
+
+// Zero-allocation regression guard for the live dispatch path. Excluded
+// under the race detector: its instrumentation allocates on its own,
+// which would fail this pin spuriously (the -race CI lane still runs
+// every functional test in this package).
+
+package runtime
+
+import (
+	"context"
+	"testing"
+
+	"laps/internal/crc"
+	"laps/internal/packet"
+)
+
+// TestDispatchZeroAllocSteadyState pins the tentpole contract: with a
+// packet pool wired in and the flow tables warmed, the full live cycle
+// — pool Get, prime, Dispatch, fence lookup, ring hand-off, worker
+// retirement, reorder tracking, pool Put — allocates nothing per
+// packet. WorkNone isolates the data path itself.
+func TestDispatchZeroAllocSteadyState(t *testing.T) {
+	pool := packet.NewPool()
+	e, err := New(Config{
+		Workers: 2,
+		RingCap: 1024,
+		Batch:   64,
+		Sched:   hashSched{n: 2},
+		Policy:  BlockWhenFull,
+		Pool:    pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(context.Background())
+
+	const flows = 512
+	var keys [flows]packet.FlowKey
+	for i := range keys {
+		keys[i] = packet.FlowKey{SrcIP: uint32(i), DstIP: 0xcafe, SrcPort: 80, DstPort: uint16(i), Proto: 17}
+	}
+	var seqs [flows]uint64
+	var id uint64
+	next := 0
+	cycle := func() {
+		i := next % flows
+		next++
+		p := pool.Get()
+		id++
+		p.ID = id
+		p.Flow = keys[i]
+		p.Size = 256
+		p.FlowSeq = seqs[i]
+		seqs[i]++
+		crc.Prime(p) // ingress hash point, as the generator does it
+		e.Dispatch(p)
+	}
+	// Warm up: grow the flow tables and ring stages to the working set.
+	for i := 0; i < 20000; i++ {
+		cycle()
+	}
+	// Seed the pool past the maximum possible in-flight population so a
+	// transient producer/consumer imbalance never forces Pool.Get to
+	// allocate mid-measurement.
+	for i := 0; i < 8192; i++ {
+		pool.Put(new(packet.Packet))
+	}
+
+	avg := testing.AllocsPerRun(5000, cycle)
+
+	e.Flush()
+	res := e.Stop()
+	if res.Dropped != 0 {
+		t.Fatalf("BlockWhenFull run dropped %d packets", res.Dropped)
+	}
+	if avg != 0 {
+		t.Fatalf("live dispatch steady state allocates %.3f per packet, want 0", avg)
+	}
+}

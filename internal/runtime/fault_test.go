@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"laps/internal/crc"
 	"laps/internal/npsim"
 	"laps/internal/obs"
 	"laps/internal/packet"
@@ -384,9 +385,10 @@ func TestFlowTableSweepRateLimited(t *testing.T) {
 	}
 	e.enqSeq[0] = 1
 	for i := 0; i < cap; i++ {
-		e.flows[fkey(i)] = flowState{core: 0, seq: 1} // in flight: seq > processed(0)
+		k := fkey(i)
+		e.flows.Put(k, crc.FlowHash(k), flowState{core: 0, seq: 1}) // in flight: seq > processed(0)
 	}
-	e.rememberFlow(fkey(5000), 0)
+	e.rememberFlow(fkey(5000), crc.FlowHash(fkey(5000)), 0)
 	if e.sweepHold == 0 {
 		t.Fatal("futile sweep at cap did not arm the hold-off")
 	}
@@ -395,16 +397,16 @@ func TestFlowTableSweepRateLimited(t *testing.T) {
 		t.Fatalf("hold-off %d, want cap/16 = %d", hold, cap/16)
 	}
 	for i := 0; i < hold; i++ {
-		e.rememberFlow(fkey(6000+i), 0) // consumes the hold without sweeping
+		e.rememberFlow(fkey(6000+i), crc.FlowHash(fkey(6000+i)), 0) // consumes the hold without sweeping
 	}
 	if e.sweepHold != 0 {
 		t.Fatalf("hold-off not consumed: %d left", e.sweepHold)
 	}
 	// Everything is now drained; the next at-cap insert must sweep.
 	e.workers[0].processed.Store(10)
-	e.rememberFlow(fkey(9000), 0)
-	if len(e.flows) != 1 {
-		t.Fatalf("sweep after hold-off expiry left %d entries, want 1", len(e.flows))
+	e.rememberFlow(fkey(9000), crc.FlowHash(fkey(9000)), 0)
+	if e.flows.Len() != 1 {
+		t.Fatalf("sweep after hold-off expiry left %d entries, want 1", e.flows.Len())
 	}
 }
 
@@ -419,7 +421,8 @@ func BenchmarkFlowTableAtCapInsert(b *testing.B) {
 	}
 	e.enqSeq[0] = 1
 	for i := 0; i < cap; i++ {
-		e.flows[fkey(i)] = flowState{core: 0, seq: 1}
+		k := fkey(i)
+		e.flows.Put(k, crc.FlowHash(k), flowState{core: 0, seq: 1})
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -428,7 +431,8 @@ func BenchmarkFlowTableAtCapInsert(b *testing.B) {
 		// every iteration measures the steady at-cap insert path rather
 		// than a table growing with b.N.
 		k := fkey(10000 + i)
-		e.rememberFlow(k, 0)
-		delete(e.flows, k)
+		h := crc.FlowHash(k)
+		e.rememberFlow(k, h, 0)
+		e.flows.Delete(k, h)
 	}
 }

@@ -1,0 +1,55 @@
+package runtime
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"laps/internal/crc"
+	"laps/internal/packet"
+)
+
+// TestRecoveryPreservesFlowHash closes the hash-once property over the
+// hardest path: packets stranded on a killed worker are re-injected by
+// recovery, and every packet retired anywhere — plain dispatch, fenced,
+// or re-injected — must still carry the cached hash it was primed with
+// at dispatch, equal to FlowHash of its 5-tuple.
+func TestRecoveryPreservesFlowHash(t *testing.T) {
+	var violations, unprimed atomic.Uint64
+	plan := &FaultPlan{Faults: []Fault{{Worker: 1, After: 300, Kind: FaultKill}}}
+	e, err := New(Config{
+		Workers: 4,
+		RingCap: 256,
+		Batch:   16,
+		Sched:   hashSched{n: 4},
+		Policy:  BlockWhenFull,
+		Faults:  plan,
+		Handler: func(_ int, p *packet.Packet) {
+			if !p.HashOK {
+				unprimed.Add(1)
+				return
+			}
+			if p.Hash != crc.FlowHash(p.Flow) {
+				violations.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(context.Background())
+	feed(t, e, 20000, 2, 11)
+	res := e.Stop()
+	if res.WorkerDeaths == 0 {
+		t.Fatal("kill fault did not fire; recovery path not exercised")
+	}
+	if res.Reinjected == 0 {
+		t.Fatal("no packets were re-injected; recovery path not exercised")
+	}
+	if n := unprimed.Load(); n != 0 {
+		t.Fatalf("%d packets retired without a primed hash", n)
+	}
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("%d packets retired with a stale cached hash", n)
+	}
+}

@@ -48,7 +48,7 @@ func newSharedTracker(flowCap int) *sharedTracker {
 // record notes one departure and reports whether it was out of order.
 // Safe for concurrent use.
 func (s *sharedTracker) record(p *packet.Packet) bool {
-	sh := &s.shards[crc.FlowHash(p.Flow)%reorderShards]
+	sh := &s.shards[crc.PacketHash(p)%reorderShards]
 	sh.mu.Lock()
 	ooo := sh.t.Record(p)
 	sh.mu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"laps/internal/crc"
+	"laps/internal/flowtab"
 	"laps/internal/npsim"
 	"laps/internal/obs"
 	"laps/internal/packet"
@@ -107,6 +108,14 @@ type Config struct {
 	// Result.FeedbackDropped) rather than backpressuring the data plane.
 	// 0 means 4096. Sharded engine only.
 	FeedbackCap int
+	// Pool, when non-nil, recycles packets through the data plane: the
+	// dispatcher returns dropped packets to it and workers return every
+	// retired packet after the handler and egress tracking complete. The
+	// arrival source must allocate its packets from the same pool and
+	// must not retain a packet after handing it to Dispatch; with a
+	// Handler set, the handler must not retain the packet past its
+	// return. Zero-alloc steady state depends on this being set.
+	Pool *packet.Pool
 	// DetectWindow enables the health monitor on the dispatcher path: a
 	// worker holding backlog that makes no progress for this long is
 	// quarantined and its state recovered onto the surviving workers.
@@ -188,7 +197,7 @@ type Engine struct {
 	staged  [][]*packet.Packet
 	enqSeq  []uint64 // per-worker packets handed over (staged + pushed)
 
-	flows     map[packet.FlowKey]flowState
+	flows     *flowtab.Table[flowState]
 	flowCap   int
 	sweepHold int // new-flow inserts to skip sweeping for (after a futile sweep)
 	tracker   *sharedTracker
@@ -268,7 +277,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:      cfg,
-		flows:    make(map[packet.FlowKey]flowState, 1<<14),
+		flows:    flowtab.New[flowState](1 << 14),
 		flowCap:  cfg.FlowStateCap,
 		tracker:  newSharedTracker(cfg.ReorderCap),
 		rec:      cfg.Recorder,
@@ -294,6 +303,7 @@ func New(cfg Config) (*Engine, error) {
 			workFactor: cfg.WorkFactor,
 			services:   cfg.Services,
 			handler:    cfg.Handler,
+			pool:       cfg.Pool,
 		}
 		w.idleSince.Store(0)
 		if cfg.Faults != nil {
@@ -413,10 +423,11 @@ func (e *Engine) Dispatch(p *packet.Packet) bool {
 func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
 	e.dispatched.Add(1)
 	e.maybeCheckHealth()
+	h := crc.PacketHash(p)
 	for {
 		t := target
 		if e.dead[t] {
-			t = e.reroute(p.Flow, 0)
+			t = e.reroute(h, 0)
 			if t < 0 {
 				e.countDrop(p, target)
 				return false
@@ -428,7 +439,7 @@ func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
 			continue
 		}
 		kind := routePlain
-		st, seen := e.flows[p.Flow]
+		st, seen := e.flows.Get(p.Flow, h)
 		if seen && int(st.core) != t {
 			old := int(st.core)
 			switch {
@@ -455,6 +466,10 @@ func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
 				t = old
 			}
 		}
+		// Copy the key before push: once the packet is published to the
+		// ring the worker may retire it and hand it back to the pool,
+		// so p must not be read again.
+		f := p.Flow
 		ok, retry := e.push(p, t)
 		if retry {
 			continue
@@ -471,7 +486,7 @@ func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
 		case routeFenced:
 			e.fenced.Add(1)
 		}
-		e.rememberFlow(p.Flow, t)
+		e.rememberFlow(f, h, t)
 		return true
 	}
 }
@@ -482,23 +497,20 @@ func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
 // flowCap/16 inserts, keeping the at-cap insert path amortised O(1)
 // instead of O(cap) per packet (the table overshoots the cap by at most
 // that hold-off per window; see Config.FlowStateCap).
-func (e *Engine) rememberFlow(f packet.FlowKey, target int) {
-	if _, ok := e.flows[f]; !ok && len(e.flows) >= e.flowCap {
+func (e *Engine) rememberFlow(f packet.FlowKey, h uint16, target int) {
+	if !e.flows.Has(f, h) && e.flows.Len() >= e.flowCap {
 		if e.sweepHold > 0 {
 			e.sweepHold--
 		} else {
-			before := len(e.flows)
-			for k, st := range e.flows {
-				if e.workers[st.core].processed.Load() >= st.seq {
-					delete(e.flows, k)
-				}
-			}
-			if before-len(e.flows) < e.flowCap/64+1 {
+			swept := e.flows.Sweep(func(_ packet.FlowKey, _ uint16, st flowState) bool {
+				return e.workers[st.core].processed.Load() >= st.seq
+			})
+			if swept < e.flowCap/64+1 {
 				e.sweepHold = e.flowCap / 16
 			}
 		}
 	}
-	e.flows[f] = flowState{core: int32(target), seq: e.enqSeq[target]}
+	e.flows.Put(f, h, flowState{core: int32(target), seq: e.enqSeq[target]})
 }
 
 // countDrop records one dropped packet bound for worker w.
@@ -510,6 +522,7 @@ func (e *Engine) countDrop(p *packet.Packet, w int) {
 			Core: int32(w), Core2: -1, Flow: p.Flow,
 			Val: int64(e.workers[w].rings[0].Len() + len(e.staged[w]))})
 	}
+	e.cfg.Pool.Put(p)
 }
 
 // push stages p for worker w, flushing when the stage buffer fills.
@@ -717,11 +730,9 @@ func (e *Engine) recoverWorker(i int) {
 		// what remains on this worker is fully retired and safe to
 		// forget (the next packet starts the flow fresh).
 		retired := w.processed.Load()
-		for k, st := range e.flows {
-			if int(st.core) == i && retired >= st.seq {
-				delete(e.flows, k)
-			}
-		}
+		e.flows.Sweep(func(_ packet.FlowKey, _ uint16, st flowState) bool {
+			return int(st.core) == i && retired >= st.seq
+		})
 	}
 	e.reinjected += reinjected
 	e.recovered += uint64(len(touched))
@@ -736,10 +747,13 @@ func (e *Engine) recoverWorker(i int) {
 // re-points the flow's routing record so subsequent packets fence
 // against the new home. Reports whether the packet was accepted.
 func (e *Engine) reinject(p *packet.Packet, touched map[packet.FlowKey]struct{}) bool {
+	h := crc.PacketHash(p)
+	f := p.Flow // push publishes p; no reads after it
 	for attempt := 0; ; attempt++ {
-		t := e.reroute(p.Flow, attempt)
+		t := e.reroute(h, attempt)
 		if t < 0 {
 			e.dropped.Add(1)
+			e.cfg.Pool.Put(p)
 			return false
 		}
 		ok, retry := e.push(p, t)
@@ -749,23 +763,23 @@ func (e *Engine) reinject(p *packet.Packet, touched map[packet.FlowKey]struct{})
 		if !ok {
 			return false
 		}
-		e.flows[p.Flow] = flowState{core: int32(t), seq: e.enqSeq[t]}
-		touched[p.Flow] = struct{}{}
+		e.flows.Put(f, h, flowState{core: int32(t), seq: e.enqSeq[t]})
+		touched[f] = struct{}{}
 		return true
 	}
 }
 
-// reroute deterministically picks a surviving worker for a flow by
-// hash, skipping workers whose goroutines have died but are not yet
-// quarantined. Returns -1 when no live worker is reachable.
-func (e *Engine) reroute(f packet.FlowKey, attempt int) int {
+// reroute deterministically picks a surviving worker for a flow by its
+// cached hash, skipping workers whose goroutines have died but are not
+// yet quarantined. Returns -1 when no live worker is reachable.
+func (e *Engine) reroute(h uint16, attempt int) int {
 	n := len(e.live)
 	if n == 0 {
 		return -1
 	}
-	h := int(crc.FlowHash(f)) + attempt
+	hi := int(h) + attempt
 	for i := 0; i < n; i++ {
-		c := e.live[(h+i)%n]
+		c := e.live[(hi+i)%n]
 		if e.workers[c].state.Load() != wsDead {
 			return c
 		}

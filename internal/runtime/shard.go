@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"laps/internal/crc"
+	"laps/internal/flowtab"
 	"laps/internal/npsim"
 	"laps/internal/obs"
 	"laps/internal/packet"
@@ -128,7 +129,7 @@ type shard struct {
 
 	staged   [][]*packet.Packet
 	enqSeq   []uint64 // per worker: packets handed over on this shard's rings
-	flows    map[packet.FlowKey]flowState
+	flows    *flowtab.Table[flowState]
 	flowCap  int
 	sweepHld int
 	lastView *dataPlaneView
@@ -224,6 +225,7 @@ func NewSharded(cfg Config) (*Sharded, error) {
 			workFactor: cfg.WorkFactor,
 			services:   cfg.Services,
 			handler:    cfg.Handler,
+			pool:       cfg.Pool,
 		}
 		for s := 0; s < n; s++ {
 			w.rings[s] = NewRing(cfg.RingCap)
@@ -245,7 +247,7 @@ func NewSharded(cfg Config) (*Sharded, error) {
 			e:           e,
 			in:          NewRing(cfg.IngressCap),
 			enqSeq:      make([]uint64, cfg.Workers),
-			flows:       make(map[packet.FlowKey]flowState, 1<<12),
+			flows:       flowtab.New[flowState](1 << 12),
 			flowCap:     cfg.FlowStateCap/n + 1,
 			reaped:      make([]bool, cfg.Workers),
 			sampleEvery: cfg.SampleEvery,
@@ -360,7 +362,7 @@ func (e *Sharded) Start(ctx context.Context) {
 // context cancellation). Must be called from a single goroutine.
 func (e *Sharded) Ingest(p *packet.Packet) bool {
 	e.dispatched.Add(1)
-	sh := e.shards[int(crc.FlowHash(p.Flow))%len(e.shards)]
+	sh := e.shards[int(crc.PacketHash(p))%len(e.shards)]
 	for !sh.in.Push(p) {
 		if e.cfg.Policy == DropWhenFull || e.ctx.Err() != nil {
 			e.ingressDrops.Add(1)
@@ -368,6 +370,7 @@ func (e *Sharded) Ingest(p *packet.Packet) bool {
 				e.ingRec.Emit(obs.Event{Kind: obs.EvDrop, Service: int16(p.Service),
 					Core: -1, Core2: -1, Flow: p.Flow, Val: int64(sh.in.Len())})
 			}
+			e.cfg.Pool.Put(p)
 			return false
 		}
 		time.Sleep(5 * time.Microsecond)
@@ -431,6 +434,7 @@ func (s *shard) shutdown() {
 // view change triggered recovery — so every decision lands on current
 // state, exactly like the legacy engine's DispatchTo.
 func (s *shard) dispatch(p *packet.Packet) {
+	h := crc.PacketHash(p)
 	s.observe(p)
 	for {
 		v := s.syncView()
@@ -439,7 +443,7 @@ func (s *shard) dispatch(p *packet.Packet) {
 			panic(fmt.Sprintf("runtime: snapshot of %q forwarded to invalid worker %d", s.e.cfg.Sched.Name(), t))
 		}
 		if v.health[t] != whAlive {
-			nt := s.reroute(p.Flow, 0)
+			nt := s.reroute(h, 0)
 			if nt < 0 {
 				s.countDrop(p, t) // no live worker reachable
 				return
@@ -453,7 +457,7 @@ func (s *shard) dispatch(p *packet.Packet) {
 			continue
 		}
 		kind := routePlain
-		st, seen := s.flows[p.Flow]
+		st, seen := s.flows.Get(p.Flow, h)
 		if seen && int(st.core) != t {
 			old := int(st.core)
 			switch {
@@ -478,6 +482,10 @@ func (s *shard) dispatch(p *packet.Packet) {
 				t = old
 			}
 		}
+		// Copy the key before push: once the packet is published to the
+		// ring the worker may retire it and hand it back to the pool,
+		// so p must not be read again.
+		f := p.Flow
 		ok, retry := s.push(p, t)
 		if retry {
 			continue
@@ -494,7 +502,7 @@ func (s *shard) dispatch(p *packet.Packet) {
 		case routeFenced:
 			s.fenced.Add(1)
 		}
-		s.rememberFlow(p.Flow, t)
+		s.rememberFlow(f, h, t)
 		return
 	}
 }
@@ -575,11 +583,9 @@ func (s *shard) onViewChange(v *dataPlaneView) {
 		// Entries still pointing at w were fully retired (everything
 		// unretired was just re-pointed by reinject): forget them.
 		retired := s.retiredOn(w)
-		for k, st := range s.flows {
-			if int(st.core) == w && retired >= st.seq {
-				delete(s.flows, k)
-			}
-		}
+		s.flows.Sweep(func(_ packet.FlowKey, _ uint16, st flowState) bool {
+			return int(st.core) == w && retired >= st.seq
+		})
 		s.reinjected += reinjected
 		s.recovered += uint64(len(touched))
 		if s.rec != nil {
@@ -594,10 +600,12 @@ func (s *shard) onViewChange(v *dataPlaneView) {
 // packets in enqueue order), and re-points the flow's fence at the new
 // home.
 func (s *shard) reinject(p *packet.Packet, touched map[packet.FlowKey]struct{}) bool {
+	h := crc.PacketHash(p)
 	for attempt := 0; ; attempt++ {
-		t := s.reroute(p.Flow, attempt)
+		t := s.reroute(h, attempt)
 		if t < 0 {
 			s.dropped.Add(1)
+			s.e.cfg.Pool.Put(p)
 			return false
 		}
 		ok, retry := s.push(p, t)
@@ -608,24 +616,24 @@ func (s *shard) reinject(p *packet.Packet, touched map[packet.FlowKey]struct{}) 
 		if !ok {
 			return false
 		}
-		s.flows[p.Flow] = flowState{core: int32(t), seq: s.enqSeq[t]}
+		s.flows.Put(p.Flow, h, flowState{core: int32(t), seq: s.enqSeq[t]})
 		touched[p.Flow] = struct{}{}
 		return true
 	}
 }
 
-// reroute deterministically picks a live worker for a flow by hash,
-// skipping workers whose goroutines died but are not yet quarantined.
-// Returns -1 when none is reachable.
-func (s *shard) reroute(f packet.FlowKey, attempt int) int {
+// reroute deterministically picks a live worker for a flow by its
+// cached hash, skipping workers whose goroutines died but are not yet
+// quarantined. Returns -1 when none is reachable.
+func (s *shard) reroute(h uint16, attempt int) int {
 	v := s.lastView
 	n := len(v.live)
 	if n == 0 {
 		return -1
 	}
-	h := int(crc.FlowHash(f)) + attempt
+	hi := int(h) + attempt
 	for i := 0; i < n; i++ {
-		c := v.live[(h+i)%n]
+		c := v.live[(hi+i)%n]
 		if s.e.workers[c].state.Load() != wsDead {
 			return c
 		}
@@ -690,23 +698,20 @@ func (s *shard) flushAll() {
 // rememberFlow updates the flow's fence record, sweeping drained
 // entries when the table outgrows its per-shard cap (same amortisation
 // as the legacy engine's rememberFlow).
-func (s *shard) rememberFlow(f packet.FlowKey, target int) {
-	if _, ok := s.flows[f]; !ok && len(s.flows) >= s.flowCap {
+func (s *shard) rememberFlow(f packet.FlowKey, h uint16, target int) {
+	if !s.flows.Has(f, h) && s.flows.Len() >= s.flowCap {
 		if s.sweepHld > 0 {
 			s.sweepHld--
 		} else {
-			before := len(s.flows)
-			for k, st := range s.flows {
-				if s.retiredOn(int(st.core)) >= st.seq {
-					delete(s.flows, k)
-				}
-			}
-			if before-len(s.flows) < s.flowCap/64+1 {
+			swept := s.flows.Sweep(func(_ packet.FlowKey, _ uint16, st flowState) bool {
+				return s.retiredOn(int(st.core)) >= st.seq
+			})
+			if swept < s.flowCap/64+1 {
 				s.sweepHld = s.flowCap / 16
 			}
 		}
 	}
-	s.flows[f] = flowState{core: int32(target), seq: s.enqSeq[target]}
+	s.flows.Put(f, h, flowState{core: int32(target), seq: s.enqSeq[target]})
 }
 
 // countDrop records one dropped packet bound for worker w.
@@ -719,6 +724,7 @@ func (s *shard) countDrop(p *packet.Packet, w int) {
 		s.rec.Emit(obs.Event{Kind: obs.EvDrop, Service: int16(p.Service),
 			Core: int32(w), Core2: -1, Flow: p.Flow})
 	}
+	s.e.cfg.Pool.Put(p)
 }
 
 // --- control plane goroutine ---
@@ -729,6 +735,10 @@ func (s *shard) countDrop(p *packet.Packet, w int) {
 // the scheduler's generation moves.
 func (e *Sharded) controlPlane() {
 	defer close(e.cpDone)
+	// One reusable packet for the whole loop: a per-iteration receive
+	// variable would escape through &pkt and cost an allocation per
+	// sampled observation.
+	var pkt packet.Packet
 	for {
 		select {
 		case <-e.cpStop:
@@ -740,7 +750,7 @@ func (e *Sharded) controlPlane() {
 		drain:
 			for k := 0; k < e.cfg.Batch; k++ {
 				select {
-				case pkt := <-e.feedback[i]:
+				case pkt = <-e.feedback[i]:
 					// The returned target is deliberately discarded: the
 					// data plane routes only against published snapshots,
 					// so decisions take effect atomically and in bulk.

@@ -85,6 +85,7 @@ type worker struct {
 	workFactor float64
 	services   [packet.NumServices]npsim.ServiceDef
 	handler    func(worker int, p *packet.Packet)
+	pool       *packet.Pool // nil = no recycling; Put is nil-safe
 
 	// Fault injection state, read only by this worker's goroutine.
 	faults    []Fault
@@ -189,6 +190,9 @@ func (w *worker) consume(src int, buf []*packet.Packet, n int) {
 					Core: int32(w.id), Core2: -1, Flow: p.Flow, Val: int64(p.FlowSeq)})
 			}
 		}
+		// Retirement is the packet's end of life: nothing below reads it,
+		// so it can go back to the pool before the counters tick over.
+		w.pool.Put(p)
 		w.inflight.Add(-1)
 		w.retired[src].Add(1)
 		w.processed.Add(1)

@@ -57,7 +57,7 @@ func (a *AdaptiveHash) init(v npsim.View) {
 // Target implements npsim.Scheduler.
 func (a *AdaptiveHash) Target(p *packet.Packet, v npsim.View) int {
 	a.init(v)
-	b := int(crc.FlowHash(p.Flow)) % a.Buckets
+	b := int(crc.PacketHash(p)) % a.Buckets
 	a.counts[b]++
 	if v.Now()-a.last >= a.Interval {
 		a.adapt(v)

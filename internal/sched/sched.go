@@ -43,7 +43,7 @@ func (HashOnly) Name() string { return "hash-only" }
 
 // Target returns the flow's static hash bucket.
 func (HashOnly) Target(p *packet.Packet, v npsim.View) int {
-	return int(crc.FlowHash(p.Flow)) % v.NumCores()
+	return int(crc.PacketHash(p)) % v.NumCores()
 }
 
 // thresholds resolves the imbalance trigger: a queue is overloaded when
@@ -108,18 +108,19 @@ func (a *AFS) Target(p *packet.Packet, v npsim.View) int {
 		}
 		a.lastMig = -a.Cooldown
 	}
+	h := crc.PacketHash(p)
 	var target int
-	if c, ok := a.mig.Get(p.Flow, v.Now()); ok {
+	if c, ok := a.mig.GetH(p.Flow, h, v.Now()); ok {
 		target = c
 	} else {
-		target = int(crc.FlowHash(p.Flow)) % v.NumCores()
+		target = int(h) % v.NumCores()
 	}
 	high := threshold(a.HighThresh, v)
 	if v.QueueLen(target) >= high && v.Now()-a.lastMig >= a.Cooldown {
 		minc := minQueue(v)
 		if minc != target && v.QueueLen(minc) < high {
 			// Arbitrary flow shift: migrate whatever flow is in hand.
-			a.mig.Put(p.Flow, minc, v.Now())
+			a.mig.PutH(p.Flow, h, minc, v.Now())
 			a.migrated++
 			a.lastMig = v.Now()
 			target = minc
@@ -223,17 +224,18 @@ func (o *TopKOracle) Target(p *packet.Packet, v npsim.View) int {
 	if o.seen%uint64(o.Recompute) == 0 {
 		o.recompute()
 	}
+	h := crc.PacketHash(p)
 	var target int
-	if c, ok := o.mig.Get(p.Flow, v.Now()); ok {
+	if c, ok := o.mig.GetH(p.Flow, h, v.Now()); ok {
 		target = c
 	} else {
-		target = int(crc.FlowHash(p.Flow)) % v.NumCores()
+		target = int(h) % v.NumCores()
 	}
 	high := threshold(o.HighThresh, v)
 	if v.QueueLen(target) >= high {
 		minc := minQueue(v)
 		if minc != target && v.QueueLen(minc) < high && o.topSet[p.Flow] {
-			o.mig.Put(p.Flow, minc, v.Now())
+			o.mig.PutH(p.Flow, h, minc, v.Now())
 			o.migrated++
 			target = minc
 		}

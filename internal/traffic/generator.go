@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"laps/internal/crc"
+	"laps/internal/flowtab"
 	"laps/internal/packet"
 	"laps/internal/sim"
 	"laps/internal/trace"
@@ -43,6 +45,10 @@ type Config struct {
 	Arrivals Arrivals
 	// Seed drives arrival randomness.
 	Seed uint64
+	// Pool, when non-nil, supplies the emitted packets. Pair it with the
+	// consuming engine's Config.Pool so retired packets cycle back here
+	// and steady-state generation allocates nothing.
+	Pool *packet.Pool
 }
 
 // Arrivals is an interarrival discipline.
@@ -62,7 +68,7 @@ type Generator struct {
 	sink      func(*packet.Packet)
 	rng       *rand.Rand
 	nextID    uint64
-	flowSeq   map[packet.FlowKey]uint64
+	flowSeq   *flowtab.Table[uint64]
 	generated uint64
 	perSvc    [packet.NumServices]uint64
 	states    []*svcState
@@ -71,7 +77,9 @@ type Generator struct {
 type svcState struct {
 	src        ServiceSource
 	noise      float64
-	noiseUntil float64 // model seconds
+	noiseUntil float64  // model seconds
+	start      sim.Time // generation-window origin
+	emit       func()   // pre-bound arrival callback (one closure per service, not per packet)
 }
 
 // NewGenerator builds a generator. Packets are delivered to sink in
@@ -97,7 +105,7 @@ func NewGenerator(eng *sim.Engine, cfg Config, sink func(*packet.Packet)) *Gener
 		cfg:     cfg,
 		sink:    sink,
 		rng:     rand.New(rand.NewPCG(cfg.Seed, 0xB5297A4D3F84D5B5)),
-		flowSeq: make(map[packet.FlowKey]uint64, 1<<16),
+		flowSeq: flowtab.New[uint64](1 << 16),
 	}
 	for _, s := range cfg.Sources {
 		g.states = append(g.states, &svcState{src: s, noiseUntil: -1})
@@ -111,7 +119,9 @@ func (g *Generator) Start() {
 	start := g.eng.Now()
 	for _, st := range g.states {
 		st := st
-		g.eng.At(start+g.gap(st), func() { g.arrive(st, start) })
+		st.start = start
+		st.emit = func() { g.arrive(st) }
+		g.eng.At(start+g.gap(st), st.emit)
 	}
 }
 
@@ -154,10 +164,12 @@ func (g *Generator) gap(st *svcState) sim.Time {
 	return ns
 }
 
-// arrive emits one packet for the service and schedules the next.
-func (g *Generator) arrive(st *svcState, start sim.Time) {
+// arrive emits one packet for the service and schedules the next. This
+// is the ingress hash point: the flow hash is computed here, exactly
+// once, and every downstream consumer reads the cached copy.
+func (g *Generator) arrive(st *svcState) {
 	now := g.eng.Now()
-	if now-start >= g.cfg.Duration {
+	if now-st.start >= g.cfg.Duration {
 		return // generation window over; do not reschedule
 	}
 	rec, ok := st.src.Trace.Next()
@@ -165,19 +177,22 @@ func (g *Generator) arrive(st *svcState, start sim.Time) {
 		return // finite trace exhausted
 	}
 	g.nextID++
-	p := &packet.Packet{
-		ID:      g.nextID,
-		Flow:    rec.Flow,
-		Service: st.src.Service,
-		Size:    rec.Size,
-		Arrival: now,
-		FlowSeq: g.flowSeq[rec.Flow],
-	}
-	g.flowSeq[rec.Flow]++
+	h := crc.FlowHash(rec.Flow)
+	seq := g.flowSeq.Ref(rec.Flow, h)
+	p := g.cfg.Pool.Get()
+	p.ID = g.nextID
+	p.Flow = rec.Flow
+	p.Service = st.src.Service
+	p.Size = rec.Size
+	p.Arrival = now
+	p.FlowSeq = *seq
+	p.Hash = h
+	p.HashOK = true
+	*seq++
 	g.generated++
 	g.perSvc[st.src.Service]++
 	g.sink(p)
-	g.eng.After(g.gap(st), func() { g.arrive(st, start) })
+	g.eng.After(g.gap(st), st.emit)
 }
 
 // String summarises the generator configuration.

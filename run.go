@@ -108,6 +108,14 @@ type RunConfig struct {
 	// reordering the fence exists to prevent (ablation).
 	DisableFencing bool
 
+	// Recycle routes retired and dropped packets back to the arrival
+	// process through a shared pool, making the steady-state data path
+	// allocation-free. With it enabled, a Handler must not retain the
+	// *Packet after returning (the descriptor is zeroed and reused); see
+	// docs/PERFORMANCE.md for the ownership rules. Off by default for
+	// exactly that reason.
+	Recycle bool
+
 	// Work emulates per-packet processing cost (default WorkNone).
 	Work WorkKind
 	// WorkFactor scales the modeled service time into real time; 0
@@ -250,6 +258,10 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 	if cfg.Block {
 		policy = rt.BlockWhenFull
 	}
+	var pool *packet.Pool
+	if cfg.Recycle {
+		pool = packet.NewPool()
+	}
 	// Both engines are driven through the same three hooks so the
 	// arrival loop below stays engine-agnostic.
 	var (
@@ -259,7 +271,9 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 		stop  func() *rt.Result
 	)
 	if cfg.Dispatchers > 0 {
-		sharded, err := rt.NewSharded(liveConfig(cfg, cfg.Workers, scheduler, policy))
+		lc := liveConfig(cfg, cfg.Workers, scheduler, policy)
+		lc.Pool = pool
+		sharded, err := rt.NewSharded(lc)
 		if err != nil {
 			return nil, err
 		}
@@ -268,7 +282,9 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 		flush = func() {} // shards drain their own ingress rings when idle
 		stop = sharded.Stop
 	} else {
-		live, err := newLiveEngine(cfg, cfg.Workers, scheduler, policy)
+		lc := liveConfig(cfg, cfg.Workers, scheduler, policy)
+		lc.Pool = pool
+		live, err := rt.New(lc)
 		if err != nil {
 			return nil, err
 		}
@@ -320,6 +336,7 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 		RateScale:       cfg.RateScale,
 		Arrivals:        arrivals,
 		Seed:            cfg.Seed,
+		Pool:            pool,
 	}, sink)
 	gen.Start()
 	eng.Run()
