@@ -163,13 +163,22 @@ func (t *Table) evictOldest() {
 		}
 	}
 	// Order exhausted but map non-empty can only happen if callers
-	// removed entries directly; drop an arbitrary entry.
+	// removed entries directly; drop an arbitrary entry. Capture the
+	// key during Range and delete after it returns — flowtab forbids
+	// mutating the table mid-iteration.
+	var (
+		victimKey  packet.FlowKey
+		victimHash uint16
+		found      bool
+	)
 	t.m.Range(func(f packet.FlowKey, h uint16, _ entry) bool {
-		t.m.Delete(f, h)
-		t.evicts++
-		t.gen++
+		victimKey, victimHash, found = f, h, true
 		return false
 	})
+	if found && t.m.Delete(victimKey, victimHash) {
+		t.evicts++
+		t.gen++
+	}
 }
 
 // Remove drops flow f's override.

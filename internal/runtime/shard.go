@@ -601,6 +601,7 @@ func (s *shard) onViewChange(v *dataPlaneView) {
 // home.
 func (s *shard) reinject(p *packet.Packet, touched map[packet.FlowKey]struct{}) bool {
 	h := crc.PacketHash(p)
+	f := p.Flow // push publishes p; no reads after it
 	for attempt := 0; ; attempt++ {
 		t := s.reroute(h, attempt)
 		if t < 0 {
@@ -616,8 +617,8 @@ func (s *shard) reinject(p *packet.Packet, touched map[packet.FlowKey]struct{}) 
 		if !ok {
 			return false
 		}
-		s.flows.Put(p.Flow, h, flowState{core: int32(t), seq: s.enqSeq[t]})
-		touched[p.Flow] = struct{}{}
+		s.flows.Put(f, h, flowState{core: int32(t), seq: s.enqSeq[t]})
+		touched[f] = struct{}{}
 		return true
 	}
 }

@@ -316,7 +316,8 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 	wallStart := time.Now()
 	sink := func(p *packet.Packet) {
 		if ctx.Err() != nil {
-			return // cancelled: drain the arrival process without dispatching
+			pool.Put(p) // nil-safe; cancelled: drain the arrival process without dispatching
+			return
 		}
 		if cfg.Pace > 0 {
 			// Hold this arrival until the wall clock catches up with its
