@@ -20,6 +20,7 @@
 //	lapsim -live -scenario T5 -live-workers 8
 //	lapsim -live -pcap capture.pcap -live-pace 1   # paced pcap replay
 //	lapsim -live -live-dispatchers 4               # sharded data plane
+//	lapsim -live -http 127.0.0.1:9090              # Prometheus /metrics + /healthz
 //
 // The four modes (-exp, -list, -trace/-chrome/-metrics, -live) are
 // mutually exclusive; combining them is a usage error.
@@ -82,6 +83,7 @@ var (
 	liveFaults  = flag.String("live-faults", "", "live mode: inject worker faults; comma-separated kind:worker@after[:duration] entries (stall:1@2000:500ms, slow:2@100:1s, kill:3@1500) or rand:SEED for a generated plan")
 	liveDetect  = flag.Duration("live-detect", 100*time.Millisecond, "live mode: health-monitor detection window for stalled/dead workers (0 disables the monitor)")
 	pcapPath    = flag.String("pcap", "", "live mode: replay this pcap capture (looped) instead of the scenario traces")
+	httpAddr    = flag.String("http", "", "live mode: serve admin endpoints (/metrics, /healthz, /debug/pprof) on this address for the duration of the run")
 )
 
 // modeFlags maps each mode-selecting flag to the mode it requests, and
@@ -106,6 +108,7 @@ var (
 		"live-faults":      {"live"},
 		"live-detect":      {"live"},
 		"pcap":             {"live"},
+		"http":             {"live"},
 	}
 )
 
@@ -145,6 +148,12 @@ func validateFlags() (string, error) {
 		if !ok {
 			return "", fmt.Errorf("-%s only applies to %s mode", name, strings.Join(modes, "/"))
 		}
+	}
+	if set["metrics-interval"] && *metricsInt <= 0 {
+		return "", fmt.Errorf("-metrics-interval must be positive, got %v", *metricsInt)
+	}
+	if set["http"] && *httpAddr == "" {
+		return "", fmt.Errorf("-http needs a listen address (e.g. -http 127.0.0.1:9090)")
 	}
 	return mode, nil
 }
@@ -251,6 +260,10 @@ func runLive(opts exp.Options) error {
 		Block:        *liveBlock,
 		Work:         work,
 		DetectWindow: *liveDetect,
+		HTTPAddr:     *httpAddr,
+	}
+	if *httpAddr != "" {
+		fmt.Fprintf(os.Stderr, "serving admin endpoints on http://%s/ (metrics, healthz, debug/pprof)\n", *httpAddr)
 	}
 	if *liveFaults != "" {
 		plan, err := parseFaultPlan(*liveFaults, *liveWorkers)
@@ -305,14 +318,14 @@ func runLive(opts exp.Options) error {
 	fmt.Printf("live run: %d workers, scheduler %s, wall %v\n",
 		*liveWorkers, res.Scheduler, l.Elapsed.Round(time.Millisecond))
 	if l.Dispatchers > 0 {
-		fmt.Printf("  sharded: dispatchers=%d snapshots=%d feedback-dropped=%d\n",
-			l.Dispatchers, l.Snapshots, l.FeedbackDropped)
+		fmt.Printf("  sharded: dispatchers=%d snapshots=%d feedback-dropped=%d max-staleness=%v\n",
+			l.Dispatchers, l.Snapshots, l.FeedbackDropped, l.MaxSnapshotStaleness.Round(time.Microsecond))
 	}
 	fmt.Printf("  generated=%d dispatched=%d processed=%d dropped=%d (%.2f%% loss)\n",
 		res.Generated, l.Dispatched, l.Processed, l.Dropped,
 		100*float64(l.Dropped)/float64(max(l.Dispatched, 1)))
-	fmt.Printf("  migrations=%d fenced=%d out-of-order=%d throughput=%.0f pps\n",
-		l.Migrations, l.Fenced, l.OutOfOrder,
+	fmt.Printf("  migrations=%d fenced=%d out-of-order=%d max-fence-hold=%v throughput=%.0f pps\n",
+		l.Migrations, l.Fenced, l.OutOfOrder, l.MaxFenceHold.Round(time.Microsecond),
 		float64(l.Processed)/l.Elapsed.Seconds())
 	if cfg.Faults != nil || l.WorkerDeaths > 0 {
 		fmt.Printf("  faults: stalls=%d deaths=%d reinjected=%d recovered-flows=%d forced=%d stranded=%d max-detect=%v\n",
@@ -417,10 +430,8 @@ func runTraced(opts exp.Options) error {
 	rec := obs.NewRecorder(0)
 	var interval sim.Time
 	if *metricsPath != "" {
+		// validateFlags already rejected a non-positive -metrics-interval.
 		interval = sim.Time(metricsInt.Nanoseconds())
-		if interval <= 0 {
-			return fmt.Errorf("-metrics-interval must be positive (got %v)", *metricsInt)
-		}
 	}
 	slog.Debug("telemetry run", "scenario", *scenario, "duration", *dur, "interval", interval)
 

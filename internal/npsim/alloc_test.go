@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"laps/internal/crc"
+	"laps/internal/obs"
 	"laps/internal/packet"
 	"laps/internal/sim"
 )
@@ -24,8 +25,15 @@ func (a allocSched) Target(p *packet.Packet, _ View) int { return int(crc.Packet
 // TestInjectZeroAllocSteadyState pins the hot-path contract: once the
 // flow tables and the event heap have grown to the working set, the
 // full Inject → enqueue → process → complete → reorder-track cycle
-// performs zero heap allocations per packet.
+// performs zero heap allocations per packet. The recording subtest
+// re-runs the pin with a telemetry recorder attached: Emit writes into
+// a pre-allocated ring and must not change the answer.
 func TestInjectZeroAllocSteadyState(t *testing.T) {
+	t.Run("plain", func(t *testing.T) { testInjectZeroAlloc(t, false) })
+	t.Run("recording", func(t *testing.T) { testInjectZeroAlloc(t, true) })
+}
+
+func testInjectZeroAlloc(t *testing.T, recording bool) {
 	eng := sim.NewEngine()
 	sys := New(eng, Config{
 		NumCores:  4,
@@ -34,6 +42,9 @@ func TestInjectZeroAllocSteadyState(t *testing.T) {
 		CCPenalty: 10000,
 		Services:  DefaultServices(),
 	}, allocSched{n: 4})
+	if recording {
+		sys.SetRecorder(obs.NewRecorder(0))
+	}
 
 	const flows = 256
 	pkts := make([]*packet.Packet, flows)

@@ -13,12 +13,13 @@ import (
 // sequence number already departed. Dropped packets leave gaps but gaps
 // are not reorderings.
 //
-// Memory behavior: by default the tracker keeps one 8-byte watermark
-// per distinct flow key ever recorded and never evicts — flow state
-// cannot be aged out without risking false negatives on late
-// stragglers. Memory therefore grows linearly with the number of
-// distinct flows (~21 bytes of key+value per flow plus map overhead;
-// about 3 MB per million flows). Simulation runs build one tracker per
+// Memory behavior: by default the tracker keeps one 16-byte watermark
+// (high seq + its departure time) per distinct flow key ever recorded
+// and never evicts — flow state cannot be aged out without risking
+// false negatives on late stragglers. Memory therefore grows linearly
+// with the number of distinct flows (~29 bytes of key+value per flow
+// plus table overhead; about 5 MB per million flows). Simulation runs
+// build one tracker per
 // run, so paper-scale experiments never approach this; long-lived
 // *runtime* processes should either call Reset at run boundaries or
 // bound the tracker with NewReorderTrackerCap, which evicts the
@@ -28,10 +29,11 @@ import (
 // Evicted counter makes that loss observable.
 type ReorderTracker struct {
 	// next holds, per flow, one past the highest FlowSeq that has
-	// departed. Open-addressed and keyed by the packet's cached flow
-	// hash: Record runs once per departing packet, so it must neither
-	// rehash the 13-byte key nor allocate in steady state.
-	next      *flowtab.Table[uint64]
+	// departed plus the time that packet departed (the reorder-lag
+	// reference point). Open-addressed and keyed by the packet's cached
+	// flow hash: Record runs once per departing packet, so it must
+	// neither rehash the 13-byte key nor allocate in steady state.
+	next      *flowtab.Table[watermark]
 	ooo       uint64
 	delivered uint64
 
@@ -39,6 +41,13 @@ type ReorderTracker struct {
 	fifo     []fifoEntry // insertion order, fifo[fifoHead:] are live
 	fifoHead int
 	evicted  uint64
+}
+
+// watermark is one flow's reorder state: one past the highest FlowSeq
+// that has departed, and when that packet departed.
+type watermark struct {
+	next uint64
+	t    sim.Time
 }
 
 // fifoEntry remembers an inserted flow with its hash so FIFO eviction
@@ -50,7 +59,7 @@ type fifoEntry struct {
 
 // NewReorderTracker returns an empty, unbounded tracker.
 func NewReorderTracker() *ReorderTracker {
-	return &ReorderTracker{next: flowtab.New[uint64](1 << 14)}
+	return &ReorderTracker{next: flowtab.New[watermark](1 << 14)}
 }
 
 // NewReorderTrackerCap returns a tracker that holds at most capacity
@@ -66,7 +75,7 @@ func NewReorderTrackerCap(capacity int) *ReorderTracker {
 		hint = 1 << 14
 	}
 	return &ReorderTracker{
-		next: flowtab.New[uint64](hint),
+		next: flowtab.New[watermark](hint),
 		cap:  capacity,
 		fifo: make([]fifoEntry, 0, hint),
 	}
@@ -75,21 +84,38 @@ func NewReorderTrackerCap(capacity int) *ReorderTracker {
 // Record notes one departing packet and reports whether it was out of
 // order.
 func (r *ReorderTracker) Record(p *packet.Packet) bool {
+	ooo, _, _ := r.RecordAt(p, 0)
+	return ooo
+}
+
+// RecordAt notes one departing packet at departure time now and, when
+// the packet is out of order, reports its reorder extent: lagPkts is
+// how many sequence numbers behind the flow's high-water mark it
+// arrived, lagTime how long after the overtaking packet it departed
+// (0 when now or the stored watermark time is unavailable). The two
+// extents are the per-event distributions the live telemetry
+// histograms aggregate — reordering *extent*, not count, is what
+// diagnoses migration pathologies.
+func (r *ReorderTracker) RecordAt(p *packet.Packet, now sim.Time) (ooo bool, lagPkts uint64, lagTime sim.Time) {
 	r.delivered++
 	h := crc.PacketHash(p)
 	cur, seen := r.next.Get(p.Flow, h)
-	if p.FlowSeq+1 > cur {
+	if p.FlowSeq+1 > cur.next {
 		if !seen && r.cap > 0 {
 			if r.next.Len() >= r.cap {
 				r.evictOldest()
 			}
 			r.fifo = append(r.fifo, fifoEntry{key: p.Flow, hash: h})
 		}
-		r.next.Put(p.Flow, h, p.FlowSeq+1)
-		return false
+		r.next.Put(p.Flow, h, watermark{next: p.FlowSeq + 1, t: now})
+		return false, 0, 0
 	}
 	r.ooo++
-	return true
+	lagPkts = cur.next - 1 - p.FlowSeq
+	if now > cur.t {
+		lagTime = now - cur.t
+	}
+	return true, lagPkts, lagTime
 }
 
 // evictOldest drops the least-recently-inserted flow's watermark.

@@ -19,6 +19,8 @@
 package obs
 
 import (
+	"sort"
+
 	"laps/internal/packet"
 	"laps/internal/sim"
 )
@@ -82,6 +84,28 @@ const (
 	// view for the dispatcher shards. Val = the scheduler generation the
 	// view was built from.
 	EvSnapshotPublish
+	// EvFenceStart: a migrating flow hit a drain fence — its packets now
+	// queue behind the old worker's backlog until it drains. Opens a
+	// span closed by EvFenceEnd for the same flow. Core = the worker
+	// still holding the flow, Core2 = the desired new target, Val = the
+	// enqueue seq the fence waits on.
+	EvFenceStart
+	// EvFenceEnd: the drain fence released — the flow's last packet
+	// retired on the old worker (or the fence was force-released /
+	// FIFO-evicted) and the flow moved. Core = the new target, Core2 =
+	// the worker it drained from, Val = the hold duration in
+	// nanoseconds.
+	EvFenceEnd
+	// EvRecoveryStart: recovery began seizing and draining a dead
+	// worker's rings. Opens a span closed by EvRecoveryEnd. Core = the
+	// dead worker, Core2 = the recovering shard (-1 for the legacy
+	// engine), Val = the backlog visible at seize time.
+	EvRecoveryStart
+	// EvRecoveryEnd: recovery finished re-injecting the dead worker's
+	// backlog. Core = the dead worker, Core2 = the recovering shard
+	// (-1 for the legacy engine), Val = the recovery duration in
+	// nanoseconds.
+	EvRecoveryEnd
 
 	numKinds
 )
@@ -104,6 +128,10 @@ var kindNames = [numKinds]string{
 	EvWorkerDead:      "worker-dead",
 	EvRecovery:        "recovery",
 	EvSnapshotPublish: "snapshot-publish",
+	EvFenceStart:      "fence-start",
+	EvFenceEnd:        "fence-end",
+	EvRecoveryStart:   "recovery-start",
+	EvRecoveryEnd:     "recovery-end",
 }
 
 // String names the kind as it appears in exported traces.
@@ -117,10 +145,25 @@ func (k Kind) String() string {
 // HasFlow reports whether events of this kind carry a flow identity.
 func (k Kind) HasFlow() bool {
 	switch k {
-	case EvFlowMigration, EvAFCPromote, EvAFCDemote, EvAFCInvalidate, EvOOODepart, EvDrop:
+	case EvFlowMigration, EvAFCPromote, EvAFCDemote, EvAFCInvalidate, EvOOODepart, EvDrop,
+		EvFenceStart, EvFenceEnd:
 		return true
 	}
 	return false
+}
+
+// SpanPhase reports whether k opens or closes a span: +1 for a start
+// kind, -1 for an end kind, 0 for instant events. Trace sinks use it
+// to render fence and recovery intervals as durations instead of
+// points.
+func (k Kind) SpanPhase() int {
+	switch k {
+	case EvFenceStart, EvRecoveryStart:
+		return +1
+	case EvFenceEnd, EvRecoveryEnd:
+		return -1
+	}
+	return 0
 }
 
 // NumKinds is the number of defined event kinds.
@@ -242,6 +285,31 @@ func (r *Recorder) Events() []Event {
 		out[i] = r.ring[(r.head+i)%len(r.ring)]
 	}
 	return out
+}
+
+// Merge folds externally-recorded events into the buffer, re-sorting
+// the whole stream by timestamp so events collected on other
+// goroutines' private recorders interleave correctly with this one's.
+// The merged events are counted as emitted; when the combined stream
+// exceeds the ring, the oldest events are discarded (counted in
+// Overwritten), matching Emit's overwrite semantics. No-op on nil.
+func (r *Recorder) Merge(events []Event) {
+	if r == nil || len(events) == 0 {
+		return
+	}
+	all := append(r.Events(), events...)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].T < all[j].T })
+	for _, e := range events {
+		if int(e.Kind) < len(r.counts) {
+			r.counts[e.Kind]++
+		}
+	}
+	r.total += uint64(len(events))
+	if len(all) > len(r.ring) {
+		all = all[len(all)-len(r.ring):]
+	}
+	r.head = 0
+	r.n = copy(r.ring, all)
 }
 
 // Drain writes the buffered events to the sink, oldest first, and clears

@@ -258,3 +258,118 @@ func BenchmarkEmitEnabled(b *testing.B) {
 		r.Emit(Event{Kind: EvDrop, Core: 1})
 	}
 }
+
+// TestRecorderMerge checks Merge interleaves externally-recorded events
+// into timestamp order, keeps lifetime counters coherent, and applies
+// the same keep-the-newest overflow rule as Emit.
+func TestRecorderMerge(t *testing.T) {
+	r := NewRecorder(16)
+	clock := sim.Time(10)
+	r.SetClock(func() sim.Time { return clock })
+	r.Emit(Event{Kind: EvDrop})
+	clock = 30
+	r.Emit(Event{Kind: EvDrop})
+
+	r.Merge([]Event{
+		{T: 20, Kind: EvFenceStart, Flow: sampleFlow()},
+		{T: 25, Kind: EvFenceEnd, Flow: sampleFlow()},
+	})
+	evs := r.Events()
+	if len(evs) != 4 || r.Total() != 4 {
+		t.Fatalf("len=%d total=%d, want 4/4", len(evs), r.Total())
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatalf("event %d at t=%d before t=%d", i, evs[i].T, evs[i-1].T)
+		}
+	}
+	if evs[1].Kind != EvFenceStart || evs[2].Kind != EvFenceEnd {
+		t.Fatalf("merged events not interleaved: %v %v", evs[1].Kind, evs[2].Kind)
+	}
+	if r.Count(EvFenceStart) != 1 || r.Count(EvDrop) != 2 {
+		t.Fatalf("counts drifted: fence-start=%d drop=%d", r.Count(EvFenceStart), r.Count(EvDrop))
+	}
+
+	// Overflow: a merge larger than the ring keeps the newest events.
+	small := NewRecorder(4)
+	var batch []Event
+	for i := 0; i < 6; i++ {
+		batch = append(batch, Event{T: sim.Time(i), Kind: EvDrop})
+	}
+	small.Merge(batch)
+	if small.Len() != 4 || small.Total() != 6 || small.Overwritten() != 2 {
+		t.Fatalf("overflow merge: len=%d total=%d overwritten=%d",
+			small.Len(), small.Total(), small.Overwritten())
+	}
+	if got := small.Events()[0].T; got != 2 {
+		t.Fatalf("oldest kept event at t=%d, want 2 (newest-4)", got)
+	}
+}
+
+// TestChromeTraceSpans checks span kinds export as async begin/end
+// pairs: fences matched by flow identity, recoveries by (worker, shard),
+// so chrome://tracing renders them as measurable intervals.
+func TestChromeTraceSpans(t *testing.T) {
+	r := NewRecorder(8)
+	clock := sim.Time(1000)
+	r.SetClock(func() sim.Time { return clock })
+	r.Emit(Event{Kind: EvFenceStart, Service: 1, Core: 2, Core2: 3, Val: 7, Flow: sampleFlow()})
+	clock = 2500
+	r.Emit(Event{Kind: EvFenceEnd, Service: 1, Core: 3, Core2: 2, Val: 1500, Flow: sampleFlow()})
+	clock = 3000
+	r.Emit(Event{Kind: EvRecoveryStart, Service: -1, Core: 1, Core2: 0, Val: 42})
+	clock = 9000
+	r.Emit(Event{Kind: EvRecoveryEnd, Service: -1, Core: 1, Core2: 0, Val: 6000})
+
+	var buf bytes.Buffer
+	s := NewChromeTraceSink(&buf)
+	if err := r.Drain(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			ID   string  `json:"id"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var spans []struct {
+		Name string
+		Ph   string
+		ID   string
+		Ts   float64
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat == "laps-span" {
+			spans = append(spans, struct {
+				Name string
+				Ph   string
+				ID   string
+				Ts   float64
+			}{ev.Name, ev.Ph, ev.ID, ev.Ts})
+		}
+	}
+	if len(spans) != 4 {
+		t.Fatalf("got %d span records, want 4: %s", len(spans), buf.String())
+	}
+	if spans[0].Name != "fence" || spans[0].Ph != "b" || spans[1].Ph != "e" {
+		t.Fatalf("fence span not a b/e pair: %+v %+v", spans[0], spans[1])
+	}
+	if spans[0].ID != spans[1].ID || spans[0].ID != sampleFlow().String() {
+		t.Fatalf("fence spans matched by %q / %q, want the flow identity", spans[0].ID, spans[1].ID)
+	}
+	if spans[2].Name != "recovery" || spans[2].ID != "w1-s0" || spans[3].ID != "w1-s0" {
+		t.Fatalf("recovery spans matched by %q / %q, want w1-s0", spans[2].ID, spans[3].ID)
+	}
+	if spans[1].Ts <= spans[0].Ts || spans[3].Ts <= spans[2].Ts {
+		t.Fatal("span ends do not follow their starts")
+	}
+}

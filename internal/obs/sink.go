@@ -74,7 +74,13 @@ func NewChromeTraceSink(w io.Writer) *ChromeTraceSink {
 	return s
 }
 
-// Write emits one event as an instant ("ph":"i") trace record.
+// Write emits one event as a trace record: span kinds (fence and
+// recovery start/end pairs, see Kind.SpanPhase) become async begin/end
+// events ("ph":"b"/"e") so migrations render as measurable intervals;
+// everything else stays an instant ("ph":"i") record. Async events are
+// matched by id — the flow identity for fences, the (worker, shard)
+// pair for recoveries — so overlapping spans on one timeline row never
+// collide.
 func (s *ChromeTraceSink) Write(e Event) error {
 	if !s.first {
 		if err := s.w.WriteByte(','); err != nil {
@@ -83,6 +89,21 @@ func (s *ChromeTraceSink) Write(e Event) error {
 	}
 	s.first = false
 	s.pids[e.Service] = true
+	if ph := e.Kind.SpanPhase(); ph != 0 {
+		name, id := "fence", e.Flow.String()
+		if e.Kind == EvRecoveryStart || e.Kind == EvRecoveryEnd {
+			name = "recovery"
+			id = fmt.Sprintf("w%d-s%d", e.Core, e.Core2)
+		}
+		phs := "b"
+		if ph < 0 {
+			phs = "e"
+		}
+		_, err := fmt.Fprintf(s.w,
+			`{"name":%q,"cat":"laps-span","ph":%q,"id":%q,"ts":%.3f,"pid":%d,"tid":%d,"args":{"core2":%d,"val":%d}}`,
+			name, phs, id, float64(e.T)/1e3, e.Service, e.Core, e.Core2, e.Val)
+		return err
+	}
 	_, err := fmt.Fprintf(s.w,
 		`{"name":%q,"cat":"laps","ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":%d,"args":{"core2":%d,"val":%d`,
 		e.Kind.String(), float64(e.T)/1e3, e.Service, e.Core, e.Core2, e.Val)

@@ -1,0 +1,24 @@
+package telemetry
+
+import "testing"
+
+// The enabled/disabled pair mirrors BenchmarkSchedulerTracingDisabled:
+// the disabled case is the price every hot-path record site pays when
+// telemetry is off (one nil check), the enabled case the full cost of
+// a lock-free histogram record.
+
+func BenchmarkHistRecordDisabled(b *testing.B) {
+	var h *Hist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(0, int64(i))
+	}
+}
+
+func BenchmarkHistRecordEnabled(b *testing.B) {
+	h := NewHist(HistOpts{Name: "bench", Lanes: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(0, int64(i))
+	}
+}

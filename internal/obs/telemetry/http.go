@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerState is one worker's liveness as the fault monitor sees it,
+// rendered by /healthz.
+type WorkerState struct {
+	ID    int  `json:"id"`
+	Alive bool `json:"alive"`
+}
+
+// The expvar package panics on duplicate Publish names, and a process
+// may run several engines (tests, lapsim multi-run). Publish a single
+// "laps" var once, backed by whichever registry was exposed last.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func exposeExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("laps", expvar.Func(func() any {
+			if reg := expvarReg.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// NewAdminMux builds the embedded admin endpoint:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/healthz      200 when every worker is alive, 503 otherwise,
+//	              with a JSON body listing per-worker state
+//	/debug/vars   expvar mirror (registry snapshot under "laps")
+//	/debug/pprof  the standard net/http/pprof handlers
+//
+// health may be nil when the engine has no fault monitor; /healthz
+// then always reports ok with an empty worker list.
+func NewAdminMux(reg *Registry, health func() []WorkerState) *http.ServeMux {
+	exposeExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		var workers []WorkerState
+		if health != nil {
+			workers = health()
+		}
+		status := "ok"
+		code := http.StatusOK
+		for _, ws := range workers {
+			if !ws.Alive {
+				status, code = "degraded", http.StatusServiceUnavailable
+				break
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(struct {
+			Status  string        `json:"status"`
+			Workers []WorkerState `json:"workers"`
+		}{Status: status, Workers: workers})
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

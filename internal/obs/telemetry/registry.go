@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// counterVar and gaugeVar are scrape-time closures: the registry never
+// stores metric values, it reads them from engine atomics when asked.
+type counterVar struct {
+	name   string
+	labels string // rendered label pairs, e.g. `worker="3"`, or ""
+	help   string
+	fn     func() uint64
+}
+
+type gaugeVar struct {
+	name   string
+	labels string
+	help   string
+	fn     func() float64
+}
+
+// Registry holds the metric families of one engine run. All methods
+// are safe for concurrent use; registration typically happens at
+// engine construction and scraping from the admin HTTP goroutine.
+type Registry struct {
+	mu       sync.Mutex
+	counters []counterVar
+	gauges   []gaugeVar
+	hists    []*Hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers an unlabeled counter family read through fn at
+// scrape time. fn must be safe to call from any goroutine.
+func (r *Registry) Counter(name, help string, fn func() uint64) {
+	r.CounterL(name, "", help, fn)
+}
+
+// CounterL registers a counter with pre-rendered label pairs
+// (e.g. `worker="3"`). Families sharing a name share one HELP/TYPE
+// header; the first registration's help text wins.
+func (r *Registry) CounterL(name, labels, help string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = append(r.counters, counterVar{name: name, labels: labels, help: help, fn: fn})
+}
+
+// Gauge registers an unlabeled gauge family read through fn at scrape
+// time.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.GaugeL(name, "", help, fn)
+}
+
+// GaugeL registers a gauge with pre-rendered label pairs.
+func (r *Registry) GaugeL(name, labels, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges = append(r.gauges, gaugeVar{name: name, labels: labels, help: help, fn: fn})
+}
+
+// NewHist builds a histogram and registers it for exposition.
+func (r *Registry) NewHist(o HistOpts) *Hist {
+	h := NewHist(o)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4). Histograms are exposed with one cumulative
+// le bound per power of two in [MinExp, MaxExp] plus +Inf; the
+// internal 8-sub-buckets-per-octave resolution is preserved for
+// Snapshot/Quantile but collapsed here to keep scrape size bounded.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := append([]counterVar(nil), r.counters...)
+	gauges := append([]gaugeVar(nil), r.gauges...)
+	hists := append([]*Hist(nil), r.hists...)
+	r.mu.Unlock()
+
+	sort.SliceStable(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.SliceStable(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	prev := ""
+	for _, c := range counters {
+		if c.name != prev {
+			pr("# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+			prev = c.name
+		}
+		if c.labels == "" {
+			pr("%s %d\n", c.name, c.fn())
+		} else {
+			pr("%s{%s} %d\n", c.name, c.labels, c.fn())
+		}
+	}
+	prev = ""
+	for _, g := range gauges {
+		if g.name != prev {
+			pr("# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+			prev = g.name
+		}
+		if g.labels == "" {
+			pr("%s %s\n", g.name, formatFloat(g.fn()))
+		} else {
+			pr("%s{%s} %s\n", g.name, g.labels, formatFloat(g.fn()))
+		}
+	}
+	for _, h := range hists {
+		s := h.Snapshot()
+		o := h.opts
+		pr("# HELP %s %s\n# TYPE %s histogram\n", o.Name, o.Help, o.Name)
+		var cum uint64
+		next := 0
+		for k := o.MinExp; k <= o.MaxExp; k++ {
+			// Buckets align with powers of two, so the cumulative
+			// count at le = 2^k is exact: sum every internal bucket
+			// whose upper bound is below 2^k.
+			bound := int64(1) << uint(k)
+			for next < NumBuckets && BucketUpper(next) < bound {
+				cum += s.Counts[next]
+				next++
+			}
+			pr("%s_bucket{le=\"%s\"} %d\n", o.Name, formatFloat(float64(bound)*o.Scale), cum)
+		}
+		pr("%s_bucket{le=\"+Inf\"} %d\n", o.Name, s.Count)
+		pr("%s_sum %s\n", o.Name, formatFloat(float64(s.Sum)*o.Scale))
+		pr("%s_count %d\n", o.Name, s.Count)
+	}
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest repr, no exponent for common magnitudes.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot returns a JSON-friendly view of the registry for the
+// /debug/vars expvar mirror: counters and gauges by name (labels
+// folded into the key) and per-histogram summaries with quantiles.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	counters := append([]counterVar(nil), r.counters...)
+	gauges := append([]gaugeVar(nil), r.gauges...)
+	hists := append([]*Hist(nil), r.hists...)
+	r.mu.Unlock()
+
+	out := make(map[string]any, len(counters)+len(gauges)+len(hists))
+	for _, c := range counters {
+		out[key(c.name, c.labels)] = c.fn()
+	}
+	for _, g := range gauges {
+		out[key(g.name, g.labels)] = g.fn()
+	}
+	for _, h := range hists {
+		s := h.Snapshot()
+		sc := h.opts.Scale
+		out[h.opts.Name] = map[string]any{
+			"count": s.Count,
+			"sum":   float64(s.Sum) * sc,
+			"max":   float64(s.Max) * sc,
+			"mean":  s.Mean() * sc,
+			"p50":   float64(s.Quantile(0.50)) * sc,
+			"p90":   float64(s.Quantile(0.90)) * sc,
+			"p99":   float64(s.Quantile(0.99)) * sc,
+			"p999":  float64(s.Quantile(0.999)) * sc,
+		}
+	}
+	return out
+}
+
+func key(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}

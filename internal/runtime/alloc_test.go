@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"laps/internal/crc"
+	"laps/internal/obs"
+	"laps/internal/obs/telemetry"
 	"laps/internal/packet"
 )
 
@@ -19,17 +21,29 @@ import (
 // packet pool wired in and the flow tables warmed, the full live cycle
 // — pool Get, prime, Dispatch, fence lookup, ring hand-off, worker
 // retirement, reorder tracking, pool Put — allocates nothing per
-// packet. WorkNone isolates the data path itself.
+// packet. WorkNone isolates the data path itself. The telemetry
+// subtest re-runs the pin with event recording and the full histogram
+// set enabled: Record and Emit must stay allocation-free too.
 func TestDispatchZeroAllocSteadyState(t *testing.T) {
+	t.Run("plain", func(t *testing.T) { testDispatchZeroAlloc(t, false) })
+	t.Run("telemetry", func(t *testing.T) { testDispatchZeroAlloc(t, true) })
+}
+
+func testDispatchZeroAlloc(t *testing.T, instrumented bool) {
 	pool := packet.NewPool()
-	e, err := New(Config{
+	cfg := Config{
 		Workers: 2,
 		RingCap: 1024,
 		Batch:   64,
 		Sched:   hashSched{n: 2},
 		Policy:  BlockWhenFull,
 		Pool:    pool,
-	})
+	}
+	if instrumented {
+		cfg.Recorder = obs.NewRecorder(0)
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	e, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,5 +90,10 @@ func TestDispatchZeroAllocSteadyState(t *testing.T) {
 	}
 	if avg != 0 {
 		t.Fatalf("live dispatch steady state allocates %.3f per packet, want 0", avg)
+	}
+	if instrumented {
+		if n := cfg.Telemetry.Snapshot()["laps_packet_latency_seconds"].(map[string]any)["count"].(uint64); n == 0 {
+			t.Fatal("telemetry enabled but no latency samples recorded")
+		}
 	}
 }

@@ -388,7 +388,7 @@ func TestFlowTableSweepRateLimited(t *testing.T) {
 		k := fkey(i)
 		e.flows.Put(k, crc.FlowHash(k), flowState{core: 0, seq: 1}) // in flight: seq > processed(0)
 	}
-	e.rememberFlow(fkey(5000), crc.FlowHash(fkey(5000)), 0)
+	e.rememberFlow(fkey(5000), crc.FlowHash(fkey(5000)), 0, 0)
 	if e.sweepHold == 0 {
 		t.Fatal("futile sweep at cap did not arm the hold-off")
 	}
@@ -397,14 +397,14 @@ func TestFlowTableSweepRateLimited(t *testing.T) {
 		t.Fatalf("hold-off %d, want cap/16 = %d", hold, cap/16)
 	}
 	for i := 0; i < hold; i++ {
-		e.rememberFlow(fkey(6000+i), crc.FlowHash(fkey(6000+i)), 0) // consumes the hold without sweeping
+		e.rememberFlow(fkey(6000+i), crc.FlowHash(fkey(6000+i)), 0, 0) // consumes the hold without sweeping
 	}
 	if e.sweepHold != 0 {
 		t.Fatalf("hold-off not consumed: %d left", e.sweepHold)
 	}
 	// Everything is now drained; the next at-cap insert must sweep.
 	e.workers[0].processed.Store(10)
-	e.rememberFlow(fkey(9000), crc.FlowHash(fkey(9000)), 0)
+	e.rememberFlow(fkey(9000), crc.FlowHash(fkey(9000)), 0, 0)
 	if e.flows.Len() != 1 {
 		t.Fatalf("sweep after hold-off expiry left %d entries, want 1", e.flows.Len())
 	}
@@ -432,7 +432,7 @@ func BenchmarkFlowTableAtCapInsert(b *testing.B) {
 		// than a table growing with b.N.
 		k := fkey(10000 + i)
 		h := crc.FlowHash(k)
-		e.rememberFlow(k, h, 0)
+		e.rememberFlow(k, h, 0, 0)
 		e.flows.Delete(k, h)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"laps/internal/crc"
 	"laps/internal/npsim"
 	"laps/internal/packet"
+	"laps/internal/sim"
 )
 
 // reorderShards is the shard count of the concurrent egress tracker.
@@ -45,14 +46,16 @@ func newSharedTracker(flowCap int) *sharedTracker {
 	return s
 }
 
-// record notes one departure and reports whether it was out of order.
-// Safe for concurrent use.
-func (s *sharedTracker) record(p *packet.Packet) bool {
+// record notes one departure at time now (0 when the caller is not
+// tracking time) and reports whether it was out of order plus the
+// reorder extent: sequence-number lag and time lag behind the flow's
+// high-water mark. Safe for concurrent use.
+func (s *sharedTracker) record(p *packet.Packet, now sim.Time) (bool, uint64, sim.Time) {
 	sh := &s.shards[crc.PacketHash(p)%reorderShards]
 	sh.mu.Lock()
-	ooo := sh.t.Record(p)
+	ooo, lagPkts, lagTime := sh.t.RecordAt(p, now)
 	sh.mu.Unlock()
-	return ooo
+	return ooo, lagPkts, lagTime
 }
 
 // outOfOrder sums out-of-order departures across shards.

@@ -3,7 +3,6 @@ package runtime
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"laps/internal/flowtab"
 	"laps/internal/npsim"
 	"laps/internal/obs"
+	"laps/internal/obs/telemetry"
 	"laps/internal/packet"
 	"laps/internal/sim"
 	"laps/internal/stats"
@@ -70,6 +70,13 @@ type Config struct {
 	// whatever the scheduler itself emits. Events are stamped with the
 	// runtime clock (ns since New).
 	Recorder *obs.Recorder
+	// Telemetry, when non-nil, registers live metrics on the registry —
+	// scrape-time counters over the engine's atomics plus log-linear
+	// latency/wait/fence/recovery histograms recorded at the existing
+	// emit sites (worker retire, dispatch resolve, fence release,
+	// recovery). Recording is lock-free and allocation-free; nil keeps
+	// every record site a single predictable branch, same as Recorder.
+	Telemetry *telemetry.Registry
 	// MetricsInterval, when positive, samples per-worker queue depths
 	// and throughput/drop/reorder rates on the wall clock into
 	// Result.Series.
@@ -132,10 +139,14 @@ type Config struct {
 // flowState is the dispatcher's record of where a flow's packets go and
 // how far into that worker's sequence space its newest packet sits.
 // The pair doubles as the migration fence: the flow may only switch
-// workers once the old worker's retired count passes seq.
+// workers once the old worker's retired count passes seq. fencedAt is
+// the span anchor: the runtime-clock instant the flow's first fenced
+// packet was held (0 = no fence open), carried across dispatches until
+// the fence releases so the hold duration is measurable end to end.
 type flowState struct {
-	core int32
-	seq  uint64
+	core     int32
+	seq      uint64
+	fencedAt int64
 }
 
 // WorkerReport is one worker's end-of-run accounting.
@@ -173,6 +184,15 @@ type Result struct {
 	// MaxDetect is the worst observed fault-to-quarantine latency. For a
 	// stall it is bounded below by DetectWindow by construction.
 	MaxDetect time.Duration
+	// MaxFenceHold is the longest a drain fence held a migrating flow on
+	// its old worker, first fenced packet to release (including forced
+	// releases). Zero when no fence ever opened.
+	MaxFenceHold time.Duration
+	// MaxSnapshotStaleness is the oldest forwarding view any shard
+	// resolved a batch against (age of the view at resolve time).
+	// Sharded engine only; the legacy engine schedules inline and has
+	// no snapshot to go stale.
+	MaxSnapshotStaleness time.Duration
 
 	// Sharded-engine accounting (zero under the legacy engine).
 	Snapshots       uint64 // forwarding-view publishes by the control plane
@@ -202,6 +222,7 @@ type Engine struct {
 	sweepHold int // new-flow inserts to skip sweeping for (after a futile sweep)
 	tracker   *sharedTracker
 	rec       *obs.Recorder
+	tel       engineTel // zero value when Config.Telemetry is nil: every hist is a nil no-op
 
 	start    time.Time // runtime clock epoch, stamped at New (pre-Start events need it)
 	runStart time.Time // Start instant, for Elapsed
@@ -214,18 +235,23 @@ type Engine struct {
 	migrations atomic.Uint64
 	fenced     atomic.Uint64
 
-	// Fault-tolerance state. All dispatcher-goroutine-only.
-	dead       []bool // quarantined workers
-	live       []int  // indices of non-quarantined workers
+	// Fault-tolerance state. Only the dispatcher goroutine writes; the
+	// counters are atomics so the admin /metrics scraper can read them
+	// mid-run without racing it.
+	dead       []bool        // quarantined workers (dispatcher-only)
+	deadPub    []atomic.Bool // quarantine verdicts published for /healthz and scrapes
+	live       []int         // indices of non-quarantined workers
 	mon        *healthMon
 	inRecovery bool
-	stalls     uint64
-	deaths     uint64
-	reinjected uint64
-	recovered  uint64
-	forced     uint64
+	stalls     atomic.Uint64
+	deaths     atomic.Uint64
+	reinjected atomic.Uint64
+	recovered  atomic.Uint64
+	forced     atomic.Uint64
 	stranded   uint64
-	maxDetect  time.Duration
+	maxDetect  atomic.Int64 // ns; single writer (dispatcher)
+
+	maxFenceHold atomic.Int64 // ns; single writer (dispatcher)
 
 	sampler     *obs.Sampler
 	samplerStop chan struct{}
@@ -283,6 +309,7 @@ func New(cfg Config) (*Engine, error) {
 		rec:      cfg.Recorder,
 		perWDrop: make([]atomic.Uint64, cfg.Workers),
 		dead:     make([]bool, cfg.Workers),
+		deadPub:  make([]atomic.Bool, cfg.Workers),
 		// The clock epoch is stamped here, not at Start: recorders are
 		// wired to e.Now at construction, and an event emitted before
 		// Start must not be stamped against the zero time (whose
@@ -291,6 +318,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if e.rec != nil {
 		e.rec.SetClock(e.Now)
+	}
+	if cfg.Telemetry != nil {
+		e.tel = newEngineTel(cfg.Telemetry, cfg.Workers, 1)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
@@ -304,6 +334,7 @@ func New(cfg Config) (*Engine, error) {
 			services:   cfg.Services,
 			handler:    cfg.Handler,
 			pool:       cfg.Pool,
+			tel:        e.tel.forWorkers(),
 		}
 		w.idleSince.Store(0)
 		if cfg.Faults != nil {
@@ -320,6 +351,11 @@ func New(cfg Config) (*Engine, error) {
 		e.live = append(e.live, i)
 	}
 	e.enqSeq = make([]uint64, cfg.Workers)
+	if cfg.Telemetry != nil {
+		// After the worker loop: the per-worker gauge closures capture
+		// the constructed workers.
+		registerEngineMetrics(cfg.Telemetry, e)
+	}
 	if cfg.DetectWindow > 0 {
 		e.mon = &healthMon{
 			window:   cfg.DetectWindow,
@@ -423,6 +459,12 @@ func (e *Engine) Dispatch(p *packet.Packet) bool {
 func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
 	e.dispatched.Add(1)
 	e.maybeCheckHealth()
+	if e.tel.on {
+		// Enqueued is sim-side bookkeeping the live path never reads;
+		// reuse it as the dispatch timestamp the worker's latency and
+		// ring-wait histograms measure against.
+		p.Enqueued = e.Now()
+	}
 	h := crc.PacketHash(p)
 	for {
 		t := target
@@ -440,8 +482,14 @@ func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
 		}
 		kind := routePlain
 		st, seen := e.flows.Get(p.Flow, h)
+		fencedAt, fenceSeq := int64(0), uint64(0)
+		old, want := -1, t
+		if seen {
+			fencedAt = st.fencedAt
+			fenceSeq = st.seq
+		}
 		if seen && int(st.core) != t {
-			old := int(st.core)
+			old = int(st.core)
 			switch {
 			case e.cfg.DisableFencing || e.workers[old].processed.Load() >= st.seq:
 				// The old worker retired every packet of this flow (or we
@@ -466,10 +514,11 @@ func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
 				t = old
 			}
 		}
-		// Copy the key before push: once the packet is published to the
-		// ring the worker may retire it and hand it back to the pool,
-		// so p must not be read again.
+		// Copy the key (and the event fields) before push: once the
+		// packet is published to the ring the worker may retire it and
+		// hand it back to the pool, so p must not be read again.
 		f := p.Flow
+		svc := p.Service
 		ok, retry := e.push(p, t)
 		if retry {
 			continue
@@ -480,15 +529,50 @@ func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
 		switch kind {
 		case routeMigrated:
 			e.migrations.Add(1)
+			fencedAt = e.endFence(f, svc, t, old, fencedAt)
 		case routeForced:
-			e.forced++
+			e.forced.Add(1)
 			e.migrations.Add(1)
+			fencedAt = e.endFence(f, svc, t, old, fencedAt)
 		case routeFenced:
 			e.fenced.Add(1)
+			if fencedAt == 0 {
+				// First packet held by this fence: open the span. The
+				// anchor rides in the flow table so the hold is measured
+				// to the eventual release, however many dispatches later.
+				fencedAt = int64(e.Now())
+				if e.rec != nil {
+					e.rec.Emit(obs.Event{Kind: obs.EvFenceStart, Service: int16(svc),
+						Core: int32(old), Core2: int32(want), Flow: f, Val: int64(fenceSeq)})
+				}
+			}
 		}
-		e.rememberFlow(f, h, t)
+		e.rememberFlow(f, h, t, fencedAt)
 		return true
 	}
+}
+
+// endFence closes a fence span opened at fencedAt (0 = nothing open):
+// it records the hold duration, tracks the maximum for Result, and
+// emits the closing span event. Returns the new anchor (always 0).
+// Dispatcher goroutine only.
+func (e *Engine) endFence(f packet.FlowKey, svc packet.ServiceID, target, old int, fencedAt int64) int64 {
+	if fencedAt == 0 {
+		return 0
+	}
+	hold := int64(e.Now()) - fencedAt
+	if hold < 0 {
+		hold = 0
+	}
+	e.tel.fenceHold.Record(0, hold)
+	if hold > e.maxFenceHold.Load() {
+		e.maxFenceHold.Store(hold)
+	}
+	if e.rec != nil {
+		e.rec.Emit(obs.Event{Kind: obs.EvFenceEnd, Service: int16(svc),
+			Core: int32(target), Core2: int32(old), Flow: f, Val: hold})
+	}
+	return 0
 }
 
 // rememberFlow updates the flow's routing record, sweeping drained
@@ -497,7 +581,7 @@ func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
 // flowCap/16 inserts, keeping the at-cap insert path amortised O(1)
 // instead of O(cap) per packet (the table overshoots the cap by at most
 // that hold-off per window; see Config.FlowStateCap).
-func (e *Engine) rememberFlow(f packet.FlowKey, h uint16, target int) {
+func (e *Engine) rememberFlow(f packet.FlowKey, h uint16, target int, fencedAt int64) {
 	if !e.flows.Has(f, h) && e.flows.Len() >= e.flowCap {
 		if e.sweepHold > 0 {
 			e.sweepHold--
@@ -510,7 +594,7 @@ func (e *Engine) rememberFlow(f packet.FlowKey, h uint16, target int) {
 			}
 		}
 	}
-	e.flows.Put(f, h, flowState{core: int32(target), seq: e.enqSeq[target]})
+	e.flows.Put(f, h, flowState{core: int32(target), seq: e.enqSeq[target], fencedAt: fencedAt})
 }
 
 // countDrop records one dropped packet bound for worker w.
@@ -636,7 +720,7 @@ func (e *Engine) checkHealth(now time.Time) {
 			continue
 		}
 		if stalled := now.Sub(e.mon.lastBeat[i]); stalled >= e.mon.window {
-			e.stalls++
+			e.stalls.Add(1)
 			if e.rec != nil {
 				e.rec.Emit(obs.Event{Kind: obs.EvWorkerStall, Service: -1,
 					Core: int32(i), Core2: -1, Val: stalled.Nanoseconds()})
@@ -658,12 +742,13 @@ func (e *Engine) reapDead(i int) {
 // runs recovery. Dispatcher goroutine only.
 func (e *Engine) quarantine(i int) {
 	e.dead[i] = true
+	e.deadPub[i].Store(true)
 	e.rebuildLive()
-	e.deaths++
+	e.deaths.Add(1)
 	w := e.workers[i]
 	if fa := w.faultAt.Swap(0); fa > 0 {
-		if d := time.Duration(int64(e.Now()) - fa); d > e.maxDetect {
-			e.maxDetect = d
+		if d := int64(e.Now()) - fa; d > e.maxDetect.Load() {
+			e.maxDetect.Store(d)
 		}
 	}
 	if e.rec != nil {
@@ -704,6 +789,15 @@ func (e *Engine) recoverWorker(i int) {
 	e.inRecovery = true
 	defer func() { e.inRecovery = false }()
 	w := e.workers[i]
+	// Recovery is a span: it runs dozens of ring pops and re-pushes, so
+	// its duration — not just its occurrence — is what capacity planning
+	// needs. Start/End bracket the instant EvRecovery kept for
+	// compatibility with existing trace consumers.
+	t0 := e.Now()
+	if e.rec != nil {
+		e.rec.Emit(obs.Event{Kind: obs.EvRecoveryStart, Service: -1, Core: int32(i),
+			Core2: -1, Val: int64(w.queueLen() + len(e.staged[i]))})
+	}
 	var reinjected uint64
 	touched := make(map[packet.FlowKey]struct{})
 	if w.seize() {
@@ -734,11 +828,15 @@ func (e *Engine) recoverWorker(i int) {
 			return int(st.core) == i && retired >= st.seq
 		})
 	}
-	e.reinjected += reinjected
-	e.recovered += uint64(len(touched))
+	e.reinjected.Add(reinjected)
+	e.recovered.Add(uint64(len(touched)))
+	dur := int64(e.Now() - t0)
+	e.tel.recovery.Record(0, dur)
 	if e.rec != nil {
 		e.rec.Emit(obs.Event{Kind: obs.EvRecovery, Service: -1, Core: int32(i),
 			Core2: -1, Val: int64(reinjected)})
+		e.rec.Emit(obs.Event{Kind: obs.EvRecoveryEnd, Service: -1, Core: int32(i),
+			Core2: -1, Val: dur})
 	}
 }
 
@@ -835,13 +933,14 @@ func (e *Engine) Stop() *Result {
 		TrackedFlows: e.tracker.flows(),
 		EvictedFlows: e.tracker.evicted(),
 		Elapsed:      elapsed,
-		WorkerStalls: e.stalls,
-		WorkerDeaths: e.deaths,
-		Reinjected:   e.reinjected,
-		Recovered:    e.recovered,
-		Forced:       e.forced,
+		WorkerStalls: e.stalls.Load(),
+		WorkerDeaths: e.deaths.Load(),
+		Reinjected:   e.reinjected.Load(),
+		Recovered:    e.recovered.Load(),
+		Forced:       e.forced.Load(),
 		Stranded:     e.stranded,
-		MaxDetect:    e.maxDetect,
+		MaxDetect:    time.Duration(e.maxDetect.Load()),
+		MaxFenceHold: time.Duration(e.maxFenceHold.Load()),
 	}
 	for i, w := range e.workers {
 		res.Processed += w.processed.Load()
@@ -861,8 +960,9 @@ func (e *Engine) Stop() *Result {
 }
 
 // mergeWorkerEvents folds the per-worker recorders' events into the
-// main recorder in timestamp order. Emission re-stamping is suppressed
-// by detaching the clock for the merge.
+// main recorder, re-sorting the combined stream by timestamp (the
+// dispatcher keeps emitting — fence spans, drops — while workers
+// record, so interleaving is the norm, not the exception).
 func (e *Engine) mergeWorkerEvents() {
 	if e.rec == nil {
 		return
@@ -871,15 +971,7 @@ func (e *Engine) mergeWorkerEvents() {
 	for _, w := range e.workers {
 		all = append(all, w.rec.Events()...)
 	}
-	if len(all) == 0 {
-		return
-	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].T < all[j].T })
-	e.rec.SetClock(nil)
-	for _, ev := range all {
-		e.rec.Emit(ev)
-	}
-	e.rec.SetClock(e.Now)
+	e.rec.Merge(all)
 }
 
 // startSampler launches the wall-clock metrics goroutine. Probes read

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +53,7 @@ type Sharded struct {
 	tracker *sharedTracker
 	rec     *obs.Recorder // CP-owned during the run; merged into at Stop
 	ingRec  *obs.Recorder // ingress-goroutine drop events
+	tel     engineTel     // zero value when Config.Telemetry is nil
 	sp      npsim.SnapshotProvider
 
 	view     atomic.Pointer[dataPlaneView]
@@ -71,15 +71,19 @@ type Sharded struct {
 	ingressDrops atomic.Uint64
 	perWDrop     []atomic.Uint64
 
-	// Control-plane-goroutine-only state.
+	// Control-plane-goroutine-only writers; the counters are atomics so
+	// the admin /metrics scraper can read them mid-run.
 	health    []workerHealth
 	liveIdx   []int
 	mon       *healthMon
 	pubGen    uint64
-	snapshots uint64
-	stalls    uint64
-	deaths    uint64
-	maxDetect time.Duration
+	snapshots atomic.Uint64
+	stalls    atomic.Uint64
+	deaths    atomic.Uint64
+	maxDetect atomic.Int64 // ns; single writer (control plane)
+
+	maxFenceHold atomic.Int64 // ns; shard writers race via load-compare-store, see noteMax
+	maxStaleness atomic.Int64 // ns; same
 	// scanEpoch counts completed health scans; shards wait on it at
 	// shutdown so a death that precedes ingress close is always
 	// quarantined (and drained) before the shards exit.
@@ -114,7 +118,8 @@ type dataPlaneView struct {
 	fwd    npsim.Forwarder
 	gen    uint64
 	health []workerHealth
-	live   []int // indices of whAlive workers
+	live   []int    // indices of whAlive workers
+	pubAt  sim.Time // publish instant, the snapshot-staleness reference
 }
 
 // shard is one ingress partition: a goroutine draining its ingress
@@ -139,15 +144,13 @@ type shard struct {
 	sampleEvery int
 	obsSkip     int
 
-	migrations atomic.Uint64
-	fenced     atomic.Uint64
-	dropped    atomic.Uint64
-
-	// Read only after the shard goroutine exits.
-	forced          uint64
-	reinjected      uint64
-	recovered       uint64
-	feedbackDropped uint64
+	migrations      atomic.Uint64
+	fenced          atomic.Uint64
+	dropped         atomic.Uint64
+	forced          atomic.Uint64
+	reinjected      atomic.Uint64
+	recovered       atomic.Uint64
+	feedbackDropped atomic.Uint64
 }
 
 // NewSharded validates cfg and builds the sharded engine (nothing
@@ -214,6 +217,9 @@ func NewSharded(cfg Config) (*Sharded, error) {
 		e.ingRec = obs.NewRecorder(obs.DefaultRingCap / (n + 1))
 		e.ingRec.SetClock(e.Now)
 	}
+	if cfg.Telemetry != nil {
+		e.tel = newEngineTel(cfg.Telemetry, cfg.Workers, n)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
 			id:         i,
@@ -226,6 +232,7 @@ func NewSharded(cfg Config) (*Sharded, error) {
 			services:   cfg.Services,
 			handler:    cfg.Handler,
 			pool:       cfg.Pool,
+			tel:        e.tel.forWorkers(),
 		}
 		for s := 0; s < n; s++ {
 			w.rings[s] = NewRing(cfg.RingCap)
@@ -261,6 +268,11 @@ func NewSharded(cfg Config) (*Sharded, error) {
 		}
 		e.shards = append(e.shards, sh)
 		e.feedback[s] = make(chan packet.Packet, cfg.FeedbackCap)
+	}
+	if cfg.Telemetry != nil {
+		// After the worker and shard loops: the per-worker and per-shard
+		// gauge closures capture the constructed objects.
+		registerShardedMetrics(cfg.Telemetry, e)
 	}
 	if cfg.DetectWindow > 0 {
 		e.mon = &healthMon{
@@ -362,6 +374,12 @@ func (e *Sharded) Start(ctx context.Context) {
 // context cancellation). Must be called from a single goroutine.
 func (e *Sharded) Ingest(p *packet.Packet) bool {
 	e.dispatched.Add(1)
+	if e.tel.on {
+		// Reuse the sim-side Enqueued field as the ingest timestamp:
+		// latency and ring-wait histograms measure from here, so the
+		// ingress ring's queueing is part of what they see.
+		p.Enqueued = e.Now()
+	}
 	sh := e.shards[int(crc.PacketHash(p))%len(e.shards)]
 	for !sh.in.Push(p) {
 		if e.cfg.Policy == DropWhenFull || e.ctx.Err() != nil {
@@ -407,6 +425,14 @@ func (s *shard) run() {
 			continue
 		}
 		idleSpins = 0
+		if s.e.tel.on {
+			// Snapshot staleness at resolve: how old the view this batch
+			// is about to route against is. One clock read per batch.
+			if age := int64(s.e.Now() - s.lastView.pubAt); age > 0 {
+				s.e.tel.staleness.Record(s.id, age)
+				noteMax(&s.e.maxStaleness, age)
+			}
+		}
 		for i := 0; i < n; i++ {
 			s.dispatch(buf[i])
 			buf[i] = nil
@@ -458,8 +484,14 @@ func (s *shard) dispatch(p *packet.Packet) {
 		}
 		kind := routePlain
 		st, seen := s.flows.Get(p.Flow, h)
+		fencedAt, fenceSeq := int64(0), uint64(0)
+		old, want := -1, t
+		if seen {
+			fencedAt = st.fencedAt
+			fenceSeq = st.seq
+		}
 		if seen && int(st.core) != t {
-			old := int(st.core)
+			old = int(st.core)
 			switch {
 			case s.e.cfg.DisableFencing || s.retiredOn(old) >= st.seq:
 				// The old worker retired every packet this shard gave it
@@ -482,10 +514,11 @@ func (s *shard) dispatch(p *packet.Packet) {
 				t = old
 			}
 		}
-		// Copy the key before push: once the packet is published to the
-		// ring the worker may retire it and hand it back to the pool,
-		// so p must not be read again.
+		// Copy the key (and event fields) before push: once the packet
+		// is published to the ring the worker may retire it and hand it
+		// back to the pool, so p must not be read again.
 		f := p.Flow
+		svc := p.Service
 		ok, retry := s.push(p, t)
 		if retry {
 			continue
@@ -496,15 +529,45 @@ func (s *shard) dispatch(p *packet.Packet) {
 		switch kind {
 		case routeMigrated:
 			s.migrations.Add(1)
+			fencedAt = s.endFence(f, svc, t, old, fencedAt)
 		case routeForced:
-			s.forced++
+			s.forced.Add(1)
 			s.migrations.Add(1)
+			fencedAt = s.endFence(f, svc, t, old, fencedAt)
 		case routeFenced:
 			s.fenced.Add(1)
+			if fencedAt == 0 {
+				fencedAt = int64(s.e.Now())
+				if s.rec != nil {
+					s.rec.Emit(obs.Event{Kind: obs.EvFenceStart, Service: int16(svc),
+						Core: int32(old), Core2: int32(want), Flow: f, Val: int64(fenceSeq)})
+				}
+			}
 		}
-		s.rememberFlow(f, h, t)
+		s.rememberFlow(f, h, t, fencedAt)
 		return
 	}
+}
+
+// endFence closes a fence span opened at fencedAt (0 = nothing open),
+// mirroring the legacy engine's endFence: record the hold, track the
+// maximum, emit the closing span event. Shard goroutine only; the hist
+// lane is the shard id.
+func (s *shard) endFence(f packet.FlowKey, svc packet.ServiceID, target, old int, fencedAt int64) int64 {
+	if fencedAt == 0 {
+		return 0
+	}
+	hold := int64(s.e.Now()) - fencedAt
+	if hold < 0 {
+		hold = 0
+	}
+	s.e.tel.fenceHold.Record(s.id, hold)
+	noteMax(&s.e.maxFenceHold, hold)
+	if s.rec != nil {
+		s.rec.Emit(obs.Event{Kind: obs.EvFenceEnd, Service: int16(svc),
+			Core: int32(target), Core2: int32(old), Flow: f, Val: hold})
+	}
+	return 0
 }
 
 // observe feeds a (sampled) copy of the packet to the control plane,
@@ -520,7 +583,7 @@ func (s *shard) observe(p *packet.Packet) {
 	select {
 	case s.e.feedback[s.id] <- *p:
 	default:
-		s.feedbackDropped++
+		s.feedbackDropped.Add(1)
 	}
 }
 
@@ -558,6 +621,11 @@ func (s *shard) onViewChange(v *dataPlaneView) {
 		if h != whSeized {
 			continue
 		}
+		t0 := s.e.Now()
+		if s.rec != nil {
+			s.rec.Emit(obs.Event{Kind: obs.EvRecoveryStart, Service: -1, Core: int32(w),
+				Core2: int32(s.id), Val: int64(s.e.workers[w].rings[s.id].Len() + len(s.staged[w]))})
+		}
 		var reinjected uint64
 		touched := make(map[packet.FlowKey]struct{})
 		buf := make([]*packet.Packet, s.e.cfg.Batch)
@@ -586,11 +654,15 @@ func (s *shard) onViewChange(v *dataPlaneView) {
 		s.flows.Sweep(func(_ packet.FlowKey, _ uint16, st flowState) bool {
 			return int(st.core) == w && retired >= st.seq
 		})
-		s.reinjected += reinjected
-		s.recovered += uint64(len(touched))
+		s.reinjected.Add(reinjected)
+		s.recovered.Add(uint64(len(touched)))
+		dur := int64(s.e.Now() - t0)
+		s.e.tel.recovery.Record(s.id, dur)
 		if s.rec != nil {
 			s.rec.Emit(obs.Event{Kind: obs.EvRecovery, Service: -1, Core: int32(w),
 				Core2: -1, Val: int64(reinjected)})
+			s.rec.Emit(obs.Event{Kind: obs.EvRecoveryEnd, Service: -1, Core: int32(w),
+				Core2: int32(s.id), Val: dur})
 		}
 	}
 }
@@ -699,7 +771,7 @@ func (s *shard) flushAll() {
 // rememberFlow updates the flow's fence record, sweeping drained
 // entries when the table outgrows its per-shard cap (same amortisation
 // as the legacy engine's rememberFlow).
-func (s *shard) rememberFlow(f packet.FlowKey, h uint16, target int) {
+func (s *shard) rememberFlow(f packet.FlowKey, h uint16, target int, fencedAt int64) {
 	if !s.flows.Has(f, h) && s.flows.Len() >= s.flowCap {
 		if s.sweepHld > 0 {
 			s.sweepHld--
@@ -712,7 +784,7 @@ func (s *shard) rememberFlow(f packet.FlowKey, h uint16, target int) {
 			}
 		}
 	}
-	s.flows.Put(f, h, flowState{core: int32(target), seq: s.enqSeq[target]})
+	s.flows.Put(f, h, flowState{core: int32(target), seq: s.enqSeq[target], fencedAt: fencedAt})
 }
 
 // countDrop records one dropped packet bound for worker w.
@@ -782,9 +854,10 @@ func (e *Sharded) publish() {
 		gen:    e.pubGen,
 		health: append([]workerHealth(nil), e.health...),
 		live:   append([]int(nil), e.liveIdx...),
+		pubAt:  e.Now(),
 	}
 	e.view.Store(v)
-	e.snapshots++
+	e.snapshots.Add(1)
 	if e.rec != nil {
 		e.rec.Emit(obs.Event{Kind: obs.EvSnapshotPublish, Service: -1, Core: -1,
 			Core2: -1, Val: int64(e.pubGen)})
@@ -819,7 +892,7 @@ func (e *Sharded) scanHealth() {
 			continue
 		}
 		if stalled := now.Sub(e.mon.lastBeat[i]); stalled >= e.mon.window {
-			e.stalls++
+			e.stalls.Add(1)
 			if e.rec != nil {
 				e.rec.Emit(obs.Event{Kind: obs.EvWorkerStall, Service: -1,
 					Core: int32(i), Core2: -1, Val: stalled.Nanoseconds()})
@@ -840,10 +913,10 @@ func (e *Sharded) quarantine(i int) {
 	} else {
 		e.health[i] = whWedged
 	}
-	e.deaths++
+	e.deaths.Add(1)
 	if fa := w.faultAt.Swap(0); fa > 0 {
-		if d := time.Duration(int64(e.Now()) - fa); d > e.maxDetect {
-			e.maxDetect = d
+		if d := int64(e.Now()) - fa; d > e.maxDetect.Load() {
+			e.maxDetect.Store(d)
 		}
 	}
 	live := e.liveIdx[:0]
@@ -904,27 +977,29 @@ func (e *Sharded) Stop() *Result {
 	e.mergeShardedEvents()
 
 	res := &Result{
-		Dispatched:   e.dispatched.Load(),
-		Dropped:      e.ingressDrops.Load() + stranded,
-		OutOfOrder:   e.tracker.outOfOrder(),
-		TrackedFlows: e.tracker.flows(),
-		EvictedFlows: e.tracker.evicted(),
-		Elapsed:      elapsed,
-		WorkerStalls: e.stalls,
-		WorkerDeaths: e.deaths,
-		Stranded:     stranded,
-		MaxDetect:    e.maxDetect,
-		Snapshots:    e.snapshots,
-		Dispatchers:  len(e.shards),
+		Dispatched:           e.dispatched.Load(),
+		Dropped:              e.ingressDrops.Load() + stranded,
+		OutOfOrder:           e.tracker.outOfOrder(),
+		TrackedFlows:         e.tracker.flows(),
+		EvictedFlows:         e.tracker.evicted(),
+		Elapsed:              elapsed,
+		WorkerStalls:         e.stalls.Load(),
+		WorkerDeaths:         e.deaths.Load(),
+		Stranded:             stranded,
+		MaxDetect:            time.Duration(e.maxDetect.Load()),
+		MaxFenceHold:         time.Duration(e.maxFenceHold.Load()),
+		MaxSnapshotStaleness: time.Duration(e.maxStaleness.Load()),
+		Snapshots:            e.snapshots.Load(),
+		Dispatchers:          len(e.shards),
 	}
 	for _, sh := range e.shards {
 		res.Dropped += sh.dropped.Load()
 		res.Migrations += sh.migrations.Load()
 		res.Fenced += sh.fenced.Load()
-		res.Forced += sh.forced
-		res.Reinjected += sh.reinjected
-		res.Recovered += sh.recovered
-		res.FeedbackDropped += sh.feedbackDropped
+		res.Forced += sh.forced.Load()
+		res.Reinjected += sh.reinjected.Load()
+		res.Recovered += sh.recovered.Load()
+		res.FeedbackDropped += sh.feedbackDropped.Load()
 	}
 	for i, w := range e.workers {
 		res.Processed += w.processed.Load()
@@ -944,8 +1019,8 @@ func (e *Sharded) Stop() *Result {
 }
 
 // mergeShardedEvents folds the worker, shard and ingress recorders'
-// events into the main recorder in timestamp order (same contract as
-// the legacy engine's mergeWorkerEvents).
+// events into the main recorder, re-sorting the combined stream by
+// timestamp (same contract as the legacy engine's mergeWorkerEvents).
 func (e *Sharded) mergeShardedEvents() {
 	if e.rec == nil {
 		return
@@ -958,15 +1033,7 @@ func (e *Sharded) mergeShardedEvents() {
 		all = append(all, sh.rec.Events()...)
 	}
 	all = append(all, e.ingRec.Events()...)
-	if len(all) == 0 {
-		return
-	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].T < all[j].T })
-	e.rec.SetClock(nil)
-	for _, ev := range all {
-		e.rec.Emit(ev)
-	}
-	e.rec.SetClock(e.Now)
+	e.rec.Merge(all)
 }
 
 // startShardedSampler launches the wall-clock metrics goroutine.

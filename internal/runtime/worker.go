@@ -79,6 +79,7 @@ type worker struct {
 
 	tracker *sharedTracker
 	rec     *obs.Recorder // private per-worker recorder, merged at stop
+	tel     *engineTel    // nil when live telemetry is off; lane = worker id
 	now     func() sim.Time
 
 	work       WorkKind
@@ -153,10 +154,22 @@ func (w *worker) run(batch int) {
 
 // consume retires one batch popped from rings[src]. Runs only on the
 // worker goroutine, inside a wsActive window.
+//
+// Telemetry clock discipline: with tel enabled the batch pays one clock
+// read at pop (ring wait reference), one per packet at retirement
+// (latency, reorder lag) and one at the end (batch service time) — all
+// recorded into this worker's private histogram lane, so recording
+// never contends and never allocates. Ring wait therefore includes any
+// emulated WorkSleep time only in the per-packet latency, not in the
+// wait itself.
 func (w *worker) consume(src int, buf []*packet.Packet, n int) {
 	w.idleSince.Store(-1)
 	w.inflight.Store(int64(n))
 	w.batches.Add(1)
+	var popT sim.Time
+	if w.tel != nil {
+		popT = w.now()
+	}
 	if !w.slowUntil.IsZero() && time.Now().Before(w.slowUntil) {
 		time.Sleep(slowBatchDelay)
 	}
@@ -183,8 +196,18 @@ func (w *worker) consume(src int, buf []*packet.Packet, n int) {
 		if w.handler != nil {
 			w.handler(w.id, p)
 		}
-		if w.tracker.record(p) {
+		var depart sim.Time
+		if w.tel != nil {
+			depart = w.now()
+			w.tel.ringWait.Record(w.id, int64(popT-p.Enqueued))
+			w.tel.latency.Record(w.id, int64(depart-p.Enqueued))
+		}
+		if ooo, lagPkts, lagTime := w.tracker.record(p, depart); ooo {
 			w.ooo.Add(1)
+			if w.tel != nil {
+				w.tel.reorderPkts.Record(w.id, int64(lagPkts))
+				w.tel.reorderTime.Record(w.id, int64(lagTime))
+			}
 			if w.rec != nil {
 				w.rec.Emit(obs.Event{Kind: obs.EvOOODepart, Service: int16(p.Service),
 					Core: int32(w.id), Core2: -1, Flow: p.Flow, Val: int64(p.FlowSeq)})
@@ -196,6 +219,9 @@ func (w *worker) consume(src int, buf []*packet.Packet, n int) {
 		w.inflight.Add(-1)
 		w.retired[src].Add(1)
 		w.processed.Add(1)
+	}
+	if w.tel != nil {
+		w.tel.batchSvc.Record(w.id, int64(w.now()-popT))
 	}
 }
 

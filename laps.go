@@ -32,6 +32,7 @@ import (
 	"laps/internal/exp"
 	"laps/internal/npsim"
 	"laps/internal/obs"
+	"laps/internal/obs/telemetry"
 	"laps/internal/packet"
 	"laps/internal/power"
 	"laps/internal/rob"
@@ -117,6 +118,19 @@ type (
 	Sink = obs.Sink
 	// Series is the columnar time series the metrics sampler produces.
 	Series = stats.Series
+
+	// MetricsRegistry collects the live runtime's telemetry — lock-free
+	// latency/reorder/fence/recovery histograms, counters, per-worker
+	// gauges — recorded during a Run and aggregated only at scrape time.
+	// Pass one in RunConfig.Metrics (or set RunConfig.HTTPAddr and let
+	// Run build one); read it with WritePrometheus or Snapshot. See
+	// docs/OBSERVABILITY.md.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is one aggregated histogram state (counts, sum,
+	// max) read from a MetricsRegistry.
+	MetricsSnapshot = telemetry.HistSnapshot
+	// WorkerHealth is one worker's liveness as reported by /healthz.
+	WorkerHealth = telemetry.WorkerState
 )
 
 // Telemetry event kinds (see docs/OBSERVABILITY.md).
@@ -140,7 +154,19 @@ const (
 	EvRecovery    = obs.EvRecovery
 	// Sharded data-plane events (Dispatchers > 0).
 	EvSnapshotPublish = obs.EvSnapshotPublish
+	// Span events: start/end pairs bracketing drain fences and worker
+	// recoveries; Chrome trace sinks render them as durations.
+	EvFenceStart    = obs.EvFenceStart
+	EvFenceEnd      = obs.EvFenceEnd
+	EvRecoveryStart = obs.EvRecoveryStart
+	EvRecoveryEnd   = obs.EvRecoveryEnd
 )
+
+// NewMetricsRegistry builds an empty live-telemetry registry for
+// RunConfig.Metrics. Build a fresh registry per run: each Run
+// registers its engine's metric families, so a reused registry would
+// expose duplicate series mixing two runs' counts.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // NewRecorder builds a telemetry recorder holding up to capacity events
 // (<= 0 selects the 65536-event default). Pass it to SimConfig.Trace or

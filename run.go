@@ -3,10 +3,13 @@ package laps
 import (
 	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"time"
 
 	"laps/internal/npsim"
 	"laps/internal/obs"
+	"laps/internal/obs/telemetry"
 	"laps/internal/packet"
 	rt "laps/internal/runtime"
 	"laps/internal/sim"
@@ -135,6 +138,25 @@ type RunConfig struct {
 	// 0 keeps exact tracking.
 	ReorderCap int
 
+	// Metrics, when non-nil, has the engine register its live telemetry
+	// — latency/ring-wait/reorder/fence/recovery histograms, counters,
+	// per-worker gauges — on the given registry, recorded during the run
+	// (zero-alloc; see docs/OBSERVABILITY.md) and aggregated only when
+	// scraped. Nil leaves recording off unless an admin server is
+	// requested, in which case Run builds a private registry (returned
+	// in RunResult.Metrics). Live mode only.
+	Metrics *MetricsRegistry
+	// HTTPAddr, when non-empty, serves an embedded admin HTTP endpoint
+	// for the duration of the run: Prometheus-format /metrics, /healthz
+	// fed by worker liveness, /debug/vars, /debug/pprof. The bound
+	// address ("host:port") is reported in RunResult.AdminAddr. Live
+	// mode only.
+	HTTPAddr string
+	// HTTPListener serves the admin endpoints on an already-bound
+	// listener instead of HTTPAddr (tests bind ":0" and read AdminAddr).
+	// Run takes ownership and closes it at the end of the run.
+	HTTPListener net.Listener
+
 	// Faults, when non-nil, injects deterministic worker faults into the
 	// live run (stall / slow / kill at batch boundaries). Not available
 	// in shadow mode, whose point is exact decision conformance.
@@ -176,6 +198,13 @@ type RunResult struct {
 	LapsStats *SchedulerStats
 	// Sim is non-nil in shadow mode: the embedded simulation's result.
 	Sim *SimResult
+	// Metrics is the registry the run recorded live telemetry into:
+	// RunConfig.Metrics when set, a private registry when only an admin
+	// server was requested, nil when telemetry was off.
+	Metrics *MetricsRegistry
+	// AdminAddr is the admin HTTP server's bound "host:port", empty
+	// when no server was requested.
+	AdminAddr string
 }
 
 // Run executes a scheduler on real goroutine cores. Where Simulate
@@ -262,17 +291,27 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 	if cfg.Recycle {
 		pool = packet.NewPool()
 	}
+	// An explicit registry turns recording on; asking for the admin
+	// server without one gets a private registry so /metrics has
+	// something to serve.
+	reg := cfg.Metrics
+	wantAdmin := cfg.HTTPAddr != "" || cfg.HTTPListener != nil
+	if wantAdmin && reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	// Both engines are driven through the same three hooks so the
 	// arrival loop below stays engine-agnostic.
 	var (
-		start func(context.Context)
-		feed  func(*packet.Packet)
-		flush func()
-		stop  func() *rt.Result
+		start  func(context.Context)
+		feed   func(*packet.Packet)
+		flush  func()
+		stop   func() *rt.Result
+		health func() []telemetry.WorkerState
 	)
 	if cfg.Dispatchers > 0 {
 		lc := liveConfig(cfg, cfg.Workers, scheduler, policy)
 		lc.Pool = pool
+		lc.Telemetry = reg
 		sharded, err := rt.NewSharded(lc)
 		if err != nil {
 			return nil, err
@@ -281,9 +320,11 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 		feed = func(p *packet.Packet) { sharded.Ingest(p) }
 		flush = func() {} // shards drain their own ingress rings when idle
 		stop = sharded.Stop
+		health = sharded.Health
 	} else {
 		lc := liveConfig(cfg, cfg.Workers, scheduler, policy)
 		lc.Pool = pool
+		lc.Telemetry = reg
 		live, err := rt.New(lc)
 		if err != nil {
 			return nil, err
@@ -292,6 +333,21 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 		feed = func(p *packet.Packet) { live.Dispatch(p) }
 		flush = live.Flush
 		stop = live.Stop
+		health = live.Health
+	}
+	var adminAddr string
+	if wantAdmin {
+		ln := cfg.HTTPListener
+		if ln == nil {
+			var err error
+			if ln, err = net.Listen("tcp", cfg.HTTPAddr); err != nil {
+				return nil, fmt.Errorf("laps: admin endpoint: %w", err)
+			}
+		}
+		srv := &http.Server{Handler: telemetry.NewAdminMux(reg, health)}
+		go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+		defer srv.Close()
+		adminAddr = ln.Addr().String()
 	}
 	ctx := cfg.Context
 	if ctx == nil {
@@ -347,6 +403,8 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 		Live:      *stats,
 		Generated: gen.Generated(),
 		Scheduler: scheduler.Name(),
+		Metrics:   reg,
+		AdminAddr: adminAddr,
 	}
 	if l := lapsOf(scheduler); l != nil {
 		st := l.Stats()
@@ -364,6 +422,9 @@ func runShadow(cfg RunConfig) (*RunResult, error) {
 	}
 	if cfg.Dispatchers > 0 {
 		return nil, fmt.Errorf("laps: Dispatchers is incompatible with shadow mode — sharded dispatch resolves packets against sampled snapshots, breaking decision conformance")
+	}
+	if cfg.Metrics != nil || cfg.HTTPAddr != "" || cfg.HTTPListener != nil {
+		return nil, fmt.Errorf("laps: live telemetry (Metrics / HTTPAddr / HTTPListener) is incompatible with shadow mode — the mirror replays simulator decisions on the live engine, so its latencies and queue depths measure the mirror, not the system")
 	}
 	simCfg := *cfg.Shadow
 	if simCfg.Cores == 0 {

@@ -1,8 +1,13 @@
 package laps_test
 
 import (
+	"bytes"
 	"context"
+	"io"
+	"net"
+	"net/http"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -397,5 +402,138 @@ func TestRunShadowDeterministic(t *testing.T) {
 	}
 	if a.Live.Dispatched != b.Live.Dispatched {
 		t.Fatalf("dispatch counts diverged: %d vs %d", a.Live.Dispatched, b.Live.Dispatched)
+	}
+}
+
+// TestRunAdminEndpoint drives the embedded admin server through the
+// public API: a faulted live run scraped over HTTP mid-flight, with the
+// final registry reconciled against the engine's own counters.
+func TestRunAdminEndpoint(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	// Scrape continuously while the run is live. Pace stretches the 2 ms
+	// virtual window to ~200 ms of wall clock, so scrapes land mid-flight
+	// and the kill is detected during the run rather than at Stop.
+	stop := make(chan struct{})
+	type scrape struct {
+		metrics int
+		healthz int
+		degr    bool
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		var s scrape
+		defer func() { got <- s }()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if resp, err := http.Get("http://" + addr + "/metrics"); err == nil {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == 200 && strings.Contains(string(body), "laps_dispatched_total") {
+					s.metrics++
+				}
+			}
+			if resp, err := http.Get("http://" + addr + "/healthz"); err == nil {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				s.healthz++
+				if resp.StatusCode == 503 && strings.Contains(string(body), `"degraded"`) {
+					s.degr = true
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	res, err := laps.Run(laps.RunConfig{
+		StackConfig: laps.StackConfig{
+			Duration: 2 * laps.Millisecond,
+			Seed:     3,
+			Traffic:  liveTraffic(3),
+		},
+		Workers: 4,
+		Block:   true,
+		Pace:    0.01,
+		Faults: &laps.FaultPlan{Faults: []laps.Fault{
+			{Worker: 3, After: 800, Kind: laps.FaultKill},
+		}},
+		DetectWindow: 30 * time.Millisecond,
+		HTTPListener: ln,
+	})
+	close(stop)
+	s := <-got
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdminAddr != addr {
+		t.Fatalf("AdminAddr %q, want listener address %q", res.AdminAddr, addr)
+	}
+	if s.metrics == 0 || s.healthz == 0 {
+		t.Fatalf("no successful mid-run scrapes (metrics=%d healthz=%d)", s.metrics, s.healthz)
+	}
+	if res.Live.WorkerDeaths > 0 && !s.degr {
+		t.Log("note: no degraded /healthz observed before the run ended (timing-dependent)")
+	}
+
+	// The run's registry must reconcile exactly with EngineStats.
+	if res.Metrics == nil {
+		t.Fatal("admin run returned no registry")
+	}
+	snap := res.Metrics.Snapshot()
+	if got := snap["laps_dispatched_total"].(uint64); got != res.Live.Dispatched {
+		t.Fatalf("laps_dispatched_total %d != Dispatched %d", got, res.Live.Dispatched)
+	}
+	if got := snap["laps_processed_total"].(uint64); got != res.Live.Processed {
+		t.Fatalf("laps_processed_total %d != Processed %d", got, res.Live.Processed)
+	}
+	if got := snap["laps_worker_deaths_total"].(uint64); got != res.Live.WorkerDeaths {
+		t.Fatalf("laps_worker_deaths_total %d != WorkerDeaths %d", got, res.Live.WorkerDeaths)
+	}
+	lat := snap["laps_packet_latency_seconds"].(map[string]any)
+	if got := lat["count"].(uint64); got != res.Live.Processed {
+		t.Fatalf("latency histogram has %d samples, Processed is %d", got, res.Live.Processed)
+	}
+
+	// The exposition must be well-formed: every non-comment line is
+	// "name value", and the server must be gone once Run returns.
+	var buf bytes.Buffer
+	if err := res.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("admin server still serving after Run returned")
+	}
+}
+
+// TestRunShadowRejectsTelemetry pins the mode boundary: shadow mode has
+// no live clock worth scraping, so telemetry knobs are a config error.
+func TestRunShadowRejectsTelemetry(t *testing.T) {
+	if _, err := laps.Run(laps.RunConfig{
+		Shadow:   &laps.SimConfig{},
+		HTTPAddr: "127.0.0.1:0",
+	}); err == nil {
+		t.Fatal("shadow run with HTTPAddr did not error")
+	}
+	if _, err := laps.Run(laps.RunConfig{
+		Shadow:  &laps.SimConfig{},
+		Metrics: laps.NewMetricsRegistry(),
+	}); err == nil {
+		t.Fatal("shadow run with Metrics did not error")
 	}
 }
