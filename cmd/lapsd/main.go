@@ -1,0 +1,133 @@
+// Command lapsd runs the live LAPS engine as a long-running daemon fed
+// by the UDP front door: datagrams in the LAPS wire format (see
+// docs/INGRESS.md) arrive on -listen, are decoded into pooled packets
+// and dispatched across the worker goroutines by the configured
+// scheduler. SIGINT/SIGTERM shut it down cleanly — kernel-buffered
+// datagrams are drained (bounded by -drain-grace), the rings empty, and
+// a parsable summary is printed.
+//
+// Usage:
+//
+//	lapsd -listen 127.0.0.1:4040                 # run until signalled
+//	lapsd -listen :4040 -http 127.0.0.1:9090     # + Prometheus /metrics, /healthz
+//	lapsd -listen :0 -duration 10s -workers 8    # bounded benchmark run
+//
+// Drive it with lapsgen, which assigns per-flow sequence numbers so the
+// summary's ooo/loss counters measure end-to-end delivery.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"laps"
+	"laps/internal/sim"
+	"laps/internal/version"
+)
+
+var (
+	listen     = flag.String("listen", "127.0.0.1:4040", "UDP address to receive LAPS wire-format datagrams on (:0 picks a free port)")
+	httpAddr   = flag.String("http", "", "serve admin endpoints (/metrics, /healthz, /debug/pprof) on this address (:0 picks a free port)")
+	workers    = flag.Int("workers", 4, "worker goroutines; the wire can carry any service, so at least the 4 service classes are needed")
+	disp       = flag.Int("dispatchers", 0, "ingress dispatcher shards (0 = classic single dispatcher)")
+	ringCap    = flag.Int("ring", 0, "per-worker SPSC ring capacity (0 = default 256)")
+	batch      = flag.Int("batch", 0, "dispatch/consume batch size (0 = default 32)")
+	rxBatch    = flag.Int("rx-batch", 0, "datagrams per receive batch — the recvmmsg vector length on Linux (0 = default 32)")
+	rcvbuf     = flag.Int("rcvbuf", 4<<20, "socket receive buffer request in bytes (kernel clamps to net.core.rmem_max; 0 leaves the default)")
+	drop       = flag.Bool("drop", false, "drop packets when a worker ring is full instead of applying backpressure")
+	duration   = flag.Duration("duration", 0, "wall-clock run length (0 = run until SIGINT/SIGTERM)")
+	drainGrace = flag.Duration("drain-grace", 500*time.Millisecond, "shutdown ceiling for draining kernel-buffered datagrams")
+	detect     = flag.Duration("detect", 0, "health-monitor detection window for stalled workers (0 disables)")
+	sched      = flag.String("scheduler", "laps", "scheduler: laps, afs, hash-only or oracle")
+	showVer    = flag.Bool("version", false, "print version and exit")
+)
+
+func main() {
+	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("lapsd"))
+		return
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lapsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Bind both sockets up front so their real addresses (":0" picks a
+	// port) are printed before traffic is expected, not after the run.
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lapsd: listening on udp %s (workers=%d scheduler=%s dispatchers=%d)\n",
+		conn.LocalAddr(), *workers, *sched, *disp)
+
+	cfg := laps.RunConfig{
+		StackConfig: laps.StackConfig{
+			Scheduler: laps.SchedulerKind(*sched),
+			Duration:  sim.Time(duration.Nanoseconds()),
+		},
+		Workers:      *workers,
+		Dispatchers:  *disp,
+		RingCap:      *ringCap,
+		Batch:        *batch,
+		Block:        !*drop,
+		Recycle:      true,
+		DetectWindow: *detect,
+		Ingress: &laps.IngressConfig{
+			Conn:       conn,
+			Batch:      *rxBatch,
+			ReadBuffer: *rcvbuf,
+			DrainGrace: *drainGrace,
+		},
+	}
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		cfg.HTTPListener = ln
+		fmt.Printf("lapsd: admin endpoints on http://%s/ (metrics, healthz, debug/pprof)\n", ln.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg.Context = ctx
+
+	res, err := laps.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	// One summary line per subsystem, key=value so scripts can assert on
+	// loss and ordering without scraping /metrics.
+	in, l := res.Ingress, res.Live
+	fmt.Printf("lapsd: ingress datagrams=%d packets=%d malformed=%d\n",
+		in.Datagrams, in.Packets, in.Malformed)
+	fmt.Printf("lapsd: engine processed=%d dropped=%d ooo=%d migrations=%d fenced=%d wall=%v throughput=%.0f pps\n",
+		l.Processed, l.Dropped, l.OutOfOrder, l.Migrations, l.Fenced,
+		l.Elapsed.Round(time.Millisecond), float64(l.Processed)/l.Elapsed.Seconds())
+	for _, w := range l.Workers {
+		status := ""
+		if w.Dead {
+			status = " [dead]"
+		}
+		fmt.Printf("lapsd: worker %d processed=%d dropped=%d batches=%d%s\n",
+			w.ID, w.Processed, w.Dropped, w.Batches, status)
+	}
+	if res.LapsStats != nil {
+		s := res.LapsStats
+		fmt.Printf("lapsd: laps migrations=%d core-requests=%d grants=%d surplus-marks=%d\n",
+			s.Migrations, s.CoreRequests, s.CoreGrants, s.SurplusMarks)
+	}
+	return nil
+}

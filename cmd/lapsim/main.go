@@ -49,6 +49,7 @@ import (
 	"laps/internal/plot"
 	"laps/internal/sim"
 	"laps/internal/traffic"
+	"laps/internal/version"
 )
 
 var (
@@ -84,6 +85,7 @@ var (
 	liveDetect  = flag.Duration("live-detect", 100*time.Millisecond, "live mode: health-monitor detection window for stalled/dead workers (0 disables the monitor)")
 	pcapPath    = flag.String("pcap", "", "live mode: replay this pcap capture (looped) instead of the scenario traces")
 	httpAddr    = flag.String("http", "", "live mode: serve admin endpoints (/metrics, /healthz, /debug/pprof) on this address for the duration of the run")
+	showVer     = flag.Bool("version", false, "print version and exit")
 )
 
 // modeFlags maps each mode-selecting flag to the mode it requests, and
@@ -160,6 +162,10 @@ func validateFlags() (string, error) {
 
 func main() {
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("lapsim"))
+		return
+	}
 	mode, err := validateFlags()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lapsim: %v\n\n", err)

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package ingress
+
+import (
+	"net"
+	"sync/atomic"
+)
+
+// newBatchReceiver picks the receive path for this platform. Without
+// recvmmsg, every platform gets the portable single-datagram loop.
+func newBatchReceiver(conn net.PacketConn, batch, maxDatagram int, stopping *atomic.Bool) (batchReceiver, error) {
+	_ = batch // the portable path has no receive vector to size
+	return newPortableReceiver(conn, maxDatagram, stopping), nil
+}

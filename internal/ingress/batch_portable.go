@@ -1,0 +1,53 @@
+package ingress
+
+import (
+	"net"
+	"sync/atomic"
+)
+
+// portableReceiver is the lowest-common-denominator receive path: one
+// datagram per recv call through the portable net API. *net.UDPConn
+// gets ReadFromUDPAddrPort, which reports the peer as a value and so
+// allocates nothing; any other PacketConn pays ReadFrom's per-call
+// address allocation. Because the portable API cannot ask "would this
+// read block?", onIdle runs before every read — correct (no staged
+// packet waits on a silent socket) at the cost of publishing dispatch
+// batches more eagerly than the Linux path does.
+type portableReceiver struct {
+	conn     net.PacketConn
+	udp      *net.UDPConn
+	stopping *atomic.Bool
+	b        []byte
+	n        int
+}
+
+func newPortableReceiver(conn net.PacketConn, maxDatagram int, stopping *atomic.Bool) *portableReceiver {
+	r := &portableReceiver{conn: conn, stopping: stopping, b: make([]byte, maxDatagram)}
+	r.udp, _ = conn.(*net.UDPConn)
+	return r
+}
+
+func (r *portableReceiver) recv(onIdle func()) (int, error) {
+	if onIdle != nil {
+		onIdle()
+	}
+	var (
+		n   int
+		err error
+	)
+	if r.udp != nil {
+		n, _, err = r.udp.ReadFromUDPAddrPort(r.b)
+	} else {
+		n, _, err = r.conn.ReadFrom(r.b)
+	}
+	if err != nil {
+		return 0, err
+	}
+	r.n = n
+	return 1, nil
+}
+
+func (r *portableReceiver) buf(i int) []byte {
+	_ = i // always 0: this receiver reads one datagram per recv
+	return r.b[:r.n]
+}

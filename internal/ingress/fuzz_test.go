@@ -1,0 +1,46 @@
+package ingress
+
+import (
+	"testing"
+
+	"laps/internal/packet"
+)
+
+// FuzzDecodeDatagram hammers the decoder with arbitrary bytes. The
+// receive path must hold three invariants for any input: never panic,
+// never emit more records than the input's length can carry (no
+// alloc-bomb from a lying count byte), and — when the input happens to
+// be well formed — survive a re-encode byte for byte.
+func FuzzDecodeDatagram(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{'L', 'W', Version, 0})
+	f.Add([]byte{'L', 'W', Version, 1})
+	f.Add(EncodeDatagram(nil, []Record{{
+		Flow:    packet.FlowKey{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 1234, DstPort: 80, Proto: packet.ProtoTCP},
+		Service: packet.SvcMalwareScan,
+		Size:    1500,
+		Seq:     42,
+	}}))
+	f.Add(EncodeDatagram(nil, make([]Record, MaxRecords)))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var recs []Record
+		count, err := DecodeDatagram(b, func(r Record) { recs = append(recs, r) })
+		if len(recs) > len(b)/RecordLen {
+			t.Fatalf("emitted %d records from %d bytes (max %d): count byte trusted over length",
+				len(recs), len(b), len(b)/RecordLen)
+		}
+		if err != nil {
+			return
+		}
+		if count != len(recs) {
+			t.Fatalf("returned count %d but emitted %d records", count, len(recs))
+		}
+		// A datagram the decoder accepts must round-trip: decode is the
+		// inverse of encode on the valid subset.
+		re := EncodeDatagram(nil, recs)
+		if string(re) != string(b) {
+			t.Fatalf("accepted datagram does not re-encode to itself:\n in: %x\nout: %x", b, re)
+		}
+	})
+}

@@ -1,0 +1,277 @@
+package ingress
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"laps/internal/crc"
+	"laps/internal/packet"
+	"laps/internal/sim"
+)
+
+// Config parameterises a Listener.
+type Config struct {
+	// Conn is the bound socket to read (required, normally *net.UDPConn
+	// from net.ListenPacket("udp", ...)). The Listener takes ownership:
+	// Stop closes it.
+	Conn net.PacketConn
+	// Batch is the number of datagrams read per receive batch (the
+	// recvmmsg vector length on Linux); 0 means 32.
+	Batch int
+	// Pool supplies the decoded packet descriptors. Nil allocates per
+	// packet; wire the engine's pool in for a zero-alloc steady state.
+	Pool *packet.Pool
+	// Sink receives every decoded packet, in datagram order, on the
+	// reader goroutine. Required. The sink owns the packet (hand it to
+	// the dispatcher or return it to the pool); the listener never
+	// touches it again.
+	Sink func(*packet.Packet)
+	// Flush, when non-nil, runs on the reader goroutine right before it
+	// blocks waiting for more datagrams — the hook the engine uses to
+	// publish partially staged dispatch batches so a pausing sender
+	// never strands packets in the stage buffers.
+	Flush func()
+	// ReadBuffer resizes the socket's kernel receive buffer (SO_RCVBUF)
+	// when positive. The kernel clamps it to net.core.rmem_max; see
+	// docs/INGRESS.md for tuning.
+	ReadBuffer int
+	// Clock stamps Packet.Arrival; nil uses nanoseconds since Start.
+	Clock func() sim.Time
+	// DrainGrace bounds how long Stop keeps reading to drain datagrams
+	// already queued in the kernel buffer; 0 means 500ms. Stop returns
+	// as soon as the buffer is empty — the grace is a ceiling, not a
+	// wait.
+	DrainGrace time.Duration
+}
+
+// Stats are a Listener's receive-side counters.
+type Stats struct {
+	Datagrams uint64 // datagrams received
+	Packets   uint64 // records decoded and delivered to the sink
+	Malformed uint64 // datagrams rejected by the wire decoder
+}
+
+// batchReceiver abstracts the platform receive path: recvmmsg vectors
+// on Linux, a plain ReadFrom loop elsewhere (see batch_linux.go /
+// batch_other.go). recv blocks until at least one datagram arrives (or
+// the socket closes / the deadline passes), invoking onIdle once right
+// before it would block; buf(i) is the i'th datagram, valid until the
+// next recv call.
+type batchReceiver interface {
+	recv(onIdle func()) (int, error)
+	buf(i int) []byte
+}
+
+// Listener reads the LAPS wire format off one socket and feeds decoded,
+// hash-primed packets to a sink. One reader goroutine per listener: the
+// socket's kernel queue is FIFO and a single reader preserves it, so
+// per-source arrival order survives into the engine.
+type Listener struct {
+	cfg   Config
+	rx    batchReceiver
+	pool  *packet.Pool
+	sink  func(*packet.Packet)
+	clock func() sim.Time
+	emitF func(Record) // pre-bound emit, so deliver never allocates a closure
+
+	start  time.Time
+	nextID uint64
+
+	datagrams atomic.Uint64
+	packets   atomic.Uint64
+	malformed atomic.Uint64
+
+	stopping atomic.Bool
+	done     chan struct{}
+	err      error // reader exit cause (set before done closes); nil = clean
+
+	started, stopped bool
+}
+
+// New validates cfg, tunes the socket and builds a listener (reader not
+// yet running).
+func New(cfg Config) (*Listener, error) {
+	if cfg.Conn == nil {
+		return nil, fmt.Errorf("ingress: Config.Conn is required")
+	}
+	if cfg.Sink == nil {
+		return nil, fmt.Errorf("ingress: Config.Sink is required")
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 500 * time.Millisecond
+	}
+	if cfg.ReadBuffer > 0 {
+		if rb, ok := cfg.Conn.(interface{ SetReadBuffer(int) error }); ok {
+			if err := rb.SetReadBuffer(cfg.ReadBuffer); err != nil {
+				return nil, fmt.Errorf("ingress: SetReadBuffer(%d): %w", cfg.ReadBuffer, err)
+			}
+		}
+	}
+	l := &Listener{
+		cfg:   cfg,
+		pool:  cfg.Pool,
+		sink:  cfg.Sink,
+		clock: cfg.Clock,
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+	if l.clock == nil {
+		l.clock = func() sim.Time { return sim.Time(time.Since(l.start).Nanoseconds()) }
+	}
+	l.emitF = l.emit
+	rx, err := newBatchReceiver(cfg.Conn, cfg.Batch, MaxDatagram, &l.stopping)
+	if err != nil {
+		return nil, err
+	}
+	l.rx = rx
+	return l, nil
+}
+
+// LocalAddr reports the socket's bound address.
+func (l *Listener) LocalAddr() net.Addr { return l.cfg.Conn.LocalAddr() }
+
+// Stats returns a consistent-enough snapshot of the receive counters;
+// safe from any goroutine mid-run.
+func (l *Listener) Stats() Stats {
+	return Stats{
+		Datagrams: l.datagrams.Load(),
+		Packets:   l.packets.Load(),
+		Malformed: l.malformed.Load(),
+	}
+}
+
+// Datagrams, Packets and Malformed expose the counters individually for
+// telemetry-registry closures.
+func (l *Listener) Datagrams() uint64 { return l.datagrams.Load() }
+func (l *Listener) Packets() uint64   { return l.packets.Load() }
+func (l *Listener) Malformed() uint64 { return l.malformed.Load() }
+
+// Err reports why the reader exited: nil for a clean Stop (including
+// the drain timeout), the socket error otherwise. Valid after Stop.
+func (l *Listener) Err() error { return l.err }
+
+// Start launches the reader goroutine. The context is advisory — Stop
+// ends the listener — but a cancelled context also stops the read loop
+// at the next batch boundary.
+func (l *Listener) Start(ctx context.Context) {
+	if l.started {
+		panic("ingress: Listener started twice")
+	}
+	l.started = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	go l.run(ctx)
+}
+
+// errWouldBlock is the receiver's way of saying "kernel buffer empty"
+// while a drain is in progress — the clean end of the drain loop.
+var errWouldBlock = errors.New("ingress: would block")
+
+// run is the reader goroutine body. Stop's drain protocol plays out
+// here: the expired-deadline poke is answered by re-arming the deadline
+// to the drain grace and continuing to read, and with the stopping flag
+// up the receive path turns would-block into errWouldBlock, so the loop
+// exits the moment the kernel buffer is empty.
+func (l *Listener) run(ctx context.Context) {
+	defer close(l.done)
+	draining := false
+	for {
+		n, err := l.rx.recv(l.cfg.Flush)
+		for i := 0; i < n; i++ {
+			l.deliver(l.rx.buf(i))
+		}
+		if err != nil {
+			if l.stopping.Load() && !draining && errors.Is(err, os.ErrDeadlineExceeded) {
+				draining = true
+				if d, ok := l.cfg.Conn.(interface{ SetReadDeadline(time.Time) error }); ok {
+					d.SetReadDeadline(time.Now().Add(l.cfg.DrainGrace)) //nolint:errcheck // Stop's Close is the backstop
+					continue
+				}
+			}
+			if !l.isShutdownErr(err) {
+				l.err = err
+			}
+			return
+		}
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// isShutdownErr classifies reader-exit errors that are part of the
+// normal Stop protocol: the drain completing (or timing out) and the
+// eventual Close.
+func (l *Listener) isShutdownErr(err error) bool {
+	if errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	if l.stopping.Load() && (errors.Is(err, os.ErrDeadlineExceeded) || errors.Is(err, errWouldBlock)) {
+		return true
+	}
+	return false
+}
+
+// deliver decodes one datagram and hands its packets to the sink.
+func (l *Listener) deliver(b []byte) {
+	l.datagrams.Add(1)
+	if _, err := DecodeDatagram(b, l.emitF); err != nil {
+		l.malformed.Add(1)
+	}
+}
+
+// emit is the per-record callback: fill a pooled descriptor, prime the
+// CRC16 flow hash — this is the socket's hash point, the only one on
+// the ingress path (docs/PERFORMANCE.md) — and hand it over.
+func (l *Listener) emit(r Record) {
+	p := l.pool.Get()
+	l.nextID++
+	p.ID = l.nextID
+	p.Flow = r.Flow
+	p.Service = r.Service
+	p.Size = r.Size
+	p.FlowSeq = r.Seq
+	p.Arrival = l.clock()
+	crc.Prime(p)
+	l.packets.Add(1)
+	l.sink(p)
+}
+
+// Stop drains and ends the listener: datagrams already queued in the
+// kernel buffer are read out (bounded by DrainGrace), the socket is
+// closed, and the final counters returned. The sink sees no further
+// packets after Stop returns.
+//
+// The drain protocol: set the stopping flag, poke the blocked reader
+// with an already-expired read deadline, then let it re-enter the read
+// loop with a DrainGrace deadline — the stopping flag turns would-block
+// into a clean exit, so the reader stops the moment the kernel buffer
+// is empty rather than waiting out the grace.
+func (l *Listener) Stop() Stats {
+	if !l.started || l.stopped {
+		panic("ingress: Stop on a non-running listener")
+	}
+	l.stopped = true
+	l.stopping.Store(true)
+	if d, ok := l.cfg.Conn.(interface{ SetReadDeadline(time.Time) error }); ok {
+		d.SetReadDeadline(time.Now().Add(-time.Second)) //nolint:errcheck // close below is the backstop
+		select {
+		case <-l.done:
+		case <-time.After(l.cfg.DrainGrace + time.Second):
+			// Reader wedged past the grace (should not happen): fall
+			// through to Close, which forces it out.
+		}
+	}
+	l.cfg.Conn.Close() //nolint:errcheck // read side already drained
+	<-l.done
+	return l.Stats()
+}

@@ -1,0 +1,149 @@
+// Package ingress is the real-packet front door: a UDP listener that
+// reads datagrams in batches, decodes the compact LAPS wire format into
+// pooled packet descriptors — priming the CRC16 flow hash exactly once
+// at the socket, the way a hardware hash unit would — and hands them,
+// in arrival order, to the live engine's dispatcher on the single
+// socket-reader goroutine. Because one goroutine reads one socket and
+// the kernel delivers a socket's datagrams in send order, ingress
+// itself never reorders a flow; see docs/INGRESS.md for the full
+// ordering argument.
+package ingress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"laps/internal/packet"
+)
+
+// The LAPS wire format, version 1. A datagram is a 4-byte header
+// followed by 1..MaxRecords fixed-size records:
+//
+//	header:  'L' 'W'  version(uint8)  count(uint8)
+//	record:  FlowKey(13, canonical big-endian)  Service(uint8)
+//	         Size(uint16 BE)  Seq(uint32 BE)
+//
+// The 13-byte flow encoding is packet.FlowKey's canonical one — the
+// same bytes the CRC16 hash unit consumes — so a capture of the wire
+// format is also a valid hash input trace. Seq is the sender's per-flow
+// sequence number; the receiver's egress reorder tracker checks it, so
+// loss and out-of-order delivery are measurable end to end without
+// trusting the receiver's own bookkeeping.
+const (
+	magic0  = 'L'
+	magic1  = 'W'
+	Version = 1
+
+	// HeaderLen and RecordLen are the fixed sizes of the two wire units.
+	HeaderLen = 4
+	RecordLen = packet.KeyBytes + 1 + 2 + 4 // 20
+
+	// MaxRecords is the most records one datagram can carry (count is a
+	// byte and zero is malformed).
+	MaxRecords = 255
+
+	// MaxDatagram is the largest well-formed datagram; receive buffers
+	// sized to it can never truncate one.
+	MaxDatagram = HeaderLen + MaxRecords*RecordLen
+)
+
+// Record is one packet announcement on the wire.
+type Record struct {
+	Flow    packet.FlowKey
+	Service packet.ServiceID
+	Size    int    // frame size in bytes (what the service-time model bills)
+	Seq     uint64 // sender-assigned per-flow sequence number
+}
+
+// Decode errors. Sentinels, not formatted errors: the decoder sits on
+// the receive path and must not allocate, even for garbage input.
+var (
+	ErrTruncated = errors.New("ingress: datagram shorter than header")
+	ErrMagic     = errors.New("ingress: bad magic")
+	ErrVersion   = errors.New("ingress: unsupported wire version")
+	ErrCount     = errors.New("ingress: record count is zero")
+	ErrLength    = errors.New("ingress: datagram length does not match record count")
+	ErrService   = errors.New("ingress: service ID out of range")
+)
+
+// DecodeDatagram validates one datagram and calls emit for each record
+// in wire order. It returns the record count, or an error with no emit
+// calls made for a malformed header and the index of the first bad
+// record otherwise (records before it were already emitted). The
+// decoder allocates nothing: Record is a value and the input is only
+// read.
+func DecodeDatagram(b []byte, emit func(Record)) (int, error) {
+	if len(b) < HeaderLen {
+		return 0, ErrTruncated
+	}
+	if b[0] != magic0 || b[1] != magic1 {
+		return 0, ErrMagic
+	}
+	if b[2] != Version {
+		return 0, ErrVersion
+	}
+	count := int(b[3])
+	if count == 0 {
+		return 0, ErrCount
+	}
+	if len(b) != HeaderLen+count*RecordLen {
+		return 0, ErrLength
+	}
+	for i := 0; i < count; i++ {
+		r := b[HeaderLen+i*RecordLen:]
+		svc := r[13]
+		if svc >= packet.NumServices {
+			return i, ErrService
+		}
+		emit(Record{
+			Flow: packet.FlowKey{
+				SrcIP:   binary.BigEndian.Uint32(r[0:4]),
+				DstIP:   binary.BigEndian.Uint32(r[4:8]),
+				SrcPort: binary.BigEndian.Uint16(r[8:10]),
+				DstPort: binary.BigEndian.Uint16(r[10:12]),
+				Proto:   r[12],
+			},
+			Service: packet.ServiceID(svc),
+			Size:    int(binary.BigEndian.Uint16(r[14:16])),
+			Seq:     uint64(binary.BigEndian.Uint32(r[16:20])),
+		})
+	}
+	return count, nil
+}
+
+// appendHeader appends a wire header with a placeholder count (patched
+// by finishDatagram once the record count is known).
+func appendHeader(dst []byte) []byte {
+	return append(dst, magic0, magic1, Version, 0)
+}
+
+// appendRecord appends one record's 20-byte encoding.
+func appendRecord(dst []byte, r Record) []byte {
+	var buf [RecordLen]byte
+	binary.BigEndian.PutUint32(buf[0:4], r.Flow.SrcIP)
+	binary.BigEndian.PutUint32(buf[4:8], r.Flow.DstIP)
+	binary.BigEndian.PutUint16(buf[8:10], r.Flow.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:12], r.Flow.DstPort)
+	buf[12] = r.Flow.Proto
+	buf[13] = uint8(r.Service)
+	binary.BigEndian.PutUint16(buf[14:16], uint16(r.Size))
+	binary.BigEndian.PutUint32(buf[16:20], uint32(r.Seq))
+	return append(dst, buf[:]...)
+}
+
+// EncodeDatagram appends the wire encoding of recs (one datagram) to
+// dst and returns the extended slice. It panics when recs is empty or
+// exceeds MaxRecords — both are caller bugs, not runtime conditions.
+func EncodeDatagram(dst []byte, recs []Record) []byte {
+	if len(recs) == 0 || len(recs) > MaxRecords {
+		panic(fmt.Sprintf("ingress: EncodeDatagram with %d records (want 1..%d)", len(recs), MaxRecords))
+	}
+	start := len(dst)
+	dst = appendHeader(dst)
+	for _, r := range recs {
+		dst = appendRecord(dst, r)
+	}
+	dst[start+3] = byte(len(recs))
+	return dst
+}

@@ -1,0 +1,145 @@
+package ingress
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"laps/internal/packet"
+)
+
+// randRecord draws a record from the full wire-representable domain:
+// any 5-tuple, any valid service, 16-bit sizes, 32-bit sequence numbers.
+func randRecord(rng *rand.Rand) Record {
+	return Record{
+		Flow: packet.FlowKey{
+			SrcIP:   rng.Uint32(),
+			DstIP:   rng.Uint32(),
+			SrcPort: uint16(rng.Uint32()),
+			DstPort: uint16(rng.Uint32()),
+			Proto:   uint8(rng.Uint32()),
+		},
+		Service: packet.ServiceID(rng.IntN(packet.NumServices)),
+		Size:    rng.IntN(1 << 16),
+		Seq:     uint64(rng.Uint32()),
+	}
+}
+
+// TestWireRoundTrip is the codec's property test: for random batches of
+// random records, decode(encode(recs)) reproduces every field in order.
+func TestWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(MaxRecords)
+		in := make([]Record, n)
+		for i := range in {
+			in[i] = randRecord(rng)
+		}
+		dg := EncodeDatagram(nil, in)
+		if len(dg) != HeaderLen+n*RecordLen {
+			t.Fatalf("trial %d: encoded %d records into %d bytes, want %d",
+				trial, n, len(dg), HeaderLen+n*RecordLen)
+		}
+		var out []Record
+		count, err := DecodeDatagram(dg, func(r Record) { out = append(out, r) })
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if count != n || len(out) != n {
+			t.Fatalf("trial %d: decoded %d records (emit saw %d), want %d", trial, count, len(out), n)
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				t.Fatalf("trial %d record %d: round trip changed %+v into %+v", trial, i, in[i], out[i])
+			}
+		}
+	}
+}
+
+// TestDecodeMalformed pins the decoder's rejection of every malformed
+// shape, each with its sentinel error and with no packets emitted past
+// the first bad record.
+func TestDecodeMalformed(t *testing.T) {
+	one := EncodeDatagram(nil, []Record{{Flow: packet.FlowKey{SrcIP: 1}, Service: packet.SvcIPForward, Size: 64}})
+
+	badService := append([]byte(nil), one...)
+	badService[HeaderLen+13] = packet.NumServices // first record's service byte
+
+	twoBadSecond := EncodeDatagram(nil, []Record{
+		{Flow: packet.FlowKey{SrcIP: 1}, Service: packet.SvcIPForward},
+		{Flow: packet.FlowKey{SrcIP: 2}, Service: packet.SvcIPForward},
+	})
+	twoBadSecond[HeaderLen+RecordLen+13] = 0xff
+
+	mut := func(i int, v byte) []byte {
+		b := append([]byte(nil), one...)
+		b[i] = v
+		return b
+	}
+	cases := []struct {
+		name  string
+		b     []byte
+		err   error
+		emits int
+	}{
+		{"empty", nil, ErrTruncated, 0},
+		{"short header", []byte{'L', 'W', Version}, ErrTruncated, 0},
+		{"bad magic 0", mut(0, 'X'), ErrMagic, 0},
+		{"bad magic 1", mut(1, 'X'), ErrMagic, 0},
+		{"bad version", mut(2, Version+1), ErrVersion, 0},
+		{"zero count", mut(3, 0), ErrCount, 0},
+		{"count overstates", mut(3, 2), ErrLength, 0},
+		{"truncated record", one[:len(one)-1], ErrLength, 0},
+		{"trailing junk", append(append([]byte(nil), one...), 0), ErrLength, 0},
+		{"bad service", badService, ErrService, 0},
+		{"bad service in second record", twoBadSecond, ErrService, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			emits := 0
+			_, err := DecodeDatagram(tc.b, func(Record) { emits++ })
+			if !errors.Is(err, tc.err) {
+				t.Fatalf("error = %v, want %v", err, tc.err)
+			}
+			if emits != tc.emits {
+				t.Fatalf("emitted %d records before failing, want %d", emits, tc.emits)
+			}
+		})
+	}
+}
+
+// TestEncodePanics pins that impossible datagrams are caller bugs, not
+// silently truncated wire traffic.
+func TestEncodePanics(t *testing.T) {
+	for _, n := range []int{0, MaxRecords + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EncodeDatagram with %d records did not panic", n)
+				}
+			}()
+			EncodeDatagram(nil, make([]Record, n))
+		}()
+	}
+}
+
+// TestDecodeZeroAlloc pins the decoder itself: validating and emitting
+// a full datagram allocates nothing, even though emit is an interface
+// point — Record is a value and the closure is pre-bound.
+func TestDecodeZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	recs := make([]Record, 64)
+	for i := range recs {
+		recs[i] = randRecord(rng)
+	}
+	dg := EncodeDatagram(nil, recs)
+	var n int
+	emit := func(Record) { n++ }
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, err := DecodeDatagram(dg, emit); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("DecodeDatagram allocates %.3f per datagram, want 0", avg)
+	}
+}

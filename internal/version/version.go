@@ -1,0 +1,60 @@
+// Package version renders the build identity the Go linker embeds into
+// every binary, so the -version flag needs no ldflags plumbing: module
+// version when built from a tagged module, VCS revision and commit time
+// when built from a checkout, plus the Go toolchain.
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// String formats a one-line version banner for the named binary, e.g.
+//
+//	lapsd (devel) rev 1a2b3c4d5e6f 2026-08-07T10:00:00Z go1.24.2
+func String(binary string) string {
+	var b strings.Builder
+	b.WriteString(binary)
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		b.WriteString(" (version unknown: built without module support)")
+		return b.String()
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	b.WriteByte(' ')
+	b.WriteString(v)
+	var rev, at string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		b.WriteString(" rev ")
+		b.WriteString(rev)
+		if dirty {
+			b.WriteString("+dirty")
+		}
+		if at != "" {
+			b.WriteByte(' ')
+			b.WriteString(at)
+		}
+	}
+	if bi.GoVersion != "" {
+		b.WriteByte(' ')
+		b.WriteString(bi.GoVersion)
+	}
+	return b.String()
+}

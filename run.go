@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"laps/internal/ingress"
 	"laps/internal/npsim"
 	"laps/internal/obs"
 	"laps/internal/obs/telemetry"
@@ -157,6 +158,19 @@ type RunConfig struct {
 	// Run takes ownership and closes it at the end of the run.
 	HTTPListener net.Listener
 
+	// Ingress, when non-nil, replaces the virtual-clock arrival process
+	// with a real UDP front door: datagrams in the LAPS wire format are
+	// read from the socket in batches (recvmmsg vectors on Linux), decoded
+	// into pooled packets — the CRC16 flow hash primed exactly once at the
+	// socket — and fed to the live dispatcher by the single socket-reader
+	// goroutine, so ingress itself never reorders a flow. Mutually
+	// exclusive with Traffic (the two are alternative arrival sources),
+	// with Pace (wire packets already arrive on the wall clock) and with
+	// shadow mode. With Ingress set, Duration is a wall-clock run length
+	// and 0 means "until Context is cancelled" — a Context or a positive
+	// Duration is required so the run has an end. See docs/INGRESS.md.
+	Ingress *IngressConfig
+
 	// Faults, when non-nil, injects deterministic worker faults into the
 	// live run (stall / slow / kill at batch boundaries). Not available
 	// in shadow mode, whose point is exact decision conformance.
@@ -186,6 +200,33 @@ type RunConfig struct {
 	Shadow *SimConfig
 }
 
+// IngressConfig opens the UDP front door for Run (RunConfig.Ingress).
+type IngressConfig struct {
+	// Addr is the UDP listen address ("host:port"; ":0" picks a free
+	// port, reported in RunResult.IngressAddr). Ignored when Conn is
+	// set.
+	Addr string
+	// Conn is an already-bound socket to read instead of Addr (tests
+	// bind ":0" themselves to learn the port before the run). Run takes
+	// ownership and closes it at the end of the run.
+	Conn net.PacketConn
+	// Batch is the number of datagrams per receive batch (the recvmmsg
+	// vector length on Linux); 0 means 32.
+	Batch int
+	// ReadBuffer resizes the socket's kernel receive buffer (SO_RCVBUF)
+	// when positive. The kernel clamps the request to net.core.rmem_max;
+	// see docs/INGRESS.md for sizing.
+	ReadBuffer int
+	// DrainGrace bounds how long shutdown keeps reading to drain
+	// datagrams already queued in the kernel buffer; 0 means 500ms.
+	// Shutdown returns as soon as the buffer is empty — the grace is a
+	// ceiling, not a wait.
+	DrainGrace time.Duration
+}
+
+// IngressStats are the front door's receive-side counters.
+type IngressStats = ingress.Stats
+
 // RunResult is the outcome of Run.
 type RunResult struct {
 	// Live are the runtime engine's counters (EngineStats).
@@ -205,6 +246,14 @@ type RunResult struct {
 	// AdminAddr is the admin HTTP server's bound "host:port", empty
 	// when no server was requested.
 	AdminAddr string
+	// Ingress is non-nil when the run was fed by the UDP front door:
+	// its datagram/decode counters. Generated then counts decoded
+	// packets, so Generated - Live.Dispatched is always zero and
+	// sender-side loss is measured as sent - Generated.
+	Ingress *IngressStats
+	// IngressAddr is the front door's bound "host:port", empty when
+	// RunConfig.Ingress was nil.
+	IngressAddr string
 }
 
 // Run executes a scheduler on real goroutine cores. Where Simulate
@@ -251,10 +300,26 @@ func newLiveEngine(cfg RunConfig, workers int, scheduler npsim.Scheduler, policy
 // the live dispatcher directly, and the scheduler consults the live
 // engine's state (real ring occupancy, real idle times).
 func runLive(cfg RunConfig) (*RunResult, error) {
+	if cfg.Pace < 0 {
+		return nil, fmt.Errorf("laps: Pace must be >= 0, got %v (0 dispatches flat out, 1 replays in real time)", cfg.Pace)
+	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 4
 	}
-	if cfg.Duration == 0 {
+	if cfg.Ingress != nil {
+		if len(cfg.Traffic) > 0 {
+			return nil, fmt.Errorf("laps: Ingress and Traffic are mutually exclusive arrival sources; feed the run from the socket or from the generator, not both")
+		}
+		if cfg.Pace != 0 {
+			return nil, fmt.Errorf("laps: Pace paces the virtual-clock replay; ingress packets already arrive on the wall clock")
+		}
+		if cfg.Ingress.Conn == nil && cfg.Ingress.Addr == "" {
+			return nil, fmt.Errorf("laps: Ingress needs an Addr to listen on or an already-bound Conn")
+		}
+		if cfg.Duration == 0 && cfg.Context == nil {
+			return nil, fmt.Errorf("laps: an ingress run needs a positive Duration or a cancellable Context to end")
+		}
+	} else if cfg.Duration == 0 {
 		cfg.Duration = 50 * Millisecond
 	}
 	if cfg.Seed == 0 {
@@ -266,8 +331,20 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 	if cfg.Dispatchers < 0 {
 		return nil, fmt.Errorf("laps: Dispatchers must be >= 0, got %d", cfg.Dispatchers)
 	}
-	services, active, err := trafficProfile(cfg.Traffic)
-	if err != nil {
+	var (
+		services int
+		active   map[ServiceID]bool
+		err      error
+	)
+	if cfg.Ingress != nil {
+		// The wire may carry any service ID, so the scheduler partitions
+		// cores over all of them — there is no Traffic list to narrow it.
+		services = packet.NumServices
+		active = make(map[ServiceID]bool, packet.NumServices)
+		for s := ServiceID(0); s < packet.NumServices; s++ {
+			active[s] = true
+		}
+	} else if services, active, err = trafficProfile(cfg.Traffic); err != nil {
 		return nil, err
 	}
 	scheduler, sharedQueue, err := buildScheduler(cfg.Scheduler, cfg.Custom,
@@ -354,6 +431,10 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 		ctx = context.Background()
 	}
 
+	if cfg.Ingress != nil {
+		return runIngress(cfg, ctx, reg, adminAddr, scheduler, pool, start, feed, flush, stop)
+	}
+
 	// The sim engine here is purely an arrival sequencer: it runs the
 	// Holt-Winters process in virtual time and hands each packet (with
 	// its per-flow sequence number) to the live dispatcher.
@@ -413,6 +494,92 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 	return res, nil
 }
 
+// runIngress drives the live engine from the UDP front door instead of
+// the virtual-clock arrival process: the socket-reader goroutine decodes
+// datagrams and feeds packets until the context is cancelled or the
+// wall-clock Duration elapses, then the listener drains the kernel
+// buffer (bounded by DrainGrace) and the engine drains its rings.
+func runIngress(cfg RunConfig, ctx context.Context, reg *MetricsRegistry, adminAddr string,
+	scheduler npsim.Scheduler, pool *packet.Pool,
+	start func(context.Context), feed func(*packet.Packet), flush func(), stop func() *rt.Result,
+) (*RunResult, error) {
+	ic := cfg.Ingress
+	conn := ic.Conn
+	if conn == nil {
+		var err error
+		if conn, err = net.ListenPacket("udp", ic.Addr); err != nil {
+			return nil, fmt.Errorf("laps: ingress listen: %w", err)
+		}
+	}
+	sink := feed
+	if cfg.Context != nil {
+		// A cancelled run must not keep dispatching what the drain reads
+		// out of the kernel buffer: recycle those packets instead.
+		sink = func(p *packet.Packet) {
+			if ctx.Err() != nil {
+				pool.Put(p) // nil-safe
+				return
+			}
+			feed(p)
+		}
+	}
+	lst, err := ingress.New(ingress.Config{
+		Conn:       conn,
+		Batch:      ic.Batch,
+		Pool:       pool,
+		Sink:       sink,
+		Flush:      flush,
+		ReadBuffer: ic.ReadBuffer,
+		DrainGrace: ic.DrainGrace,
+	})
+	if err != nil {
+		conn.Close() //nolint:errcheck // bind error path
+		return nil, err
+	}
+	if reg != nil {
+		reg.Counter("laps_ingress_datagrams_total",
+			"Datagrams received by the UDP front door.", lst.Datagrams)
+		reg.Counter("laps_ingress_packets_total",
+			"Wire records decoded and fed to the dispatcher.", lst.Packets)
+		reg.Counter("laps_ingress_malformed_total",
+			"Datagrams rejected by the wire decoder.", lst.Malformed)
+	}
+	start(ctx)
+	lst.Start(ctx)
+	var timeout <-chan time.Time
+	if cfg.Duration > 0 {
+		t := time.NewTimer(time.Duration(cfg.Duration))
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-ctx.Done():
+	case <-timeout:
+	}
+	// Teardown order matters: the listener stops (and drains) first so
+	// the feeding goroutine is quiet before the engine drains its rings.
+	st := lst.Stop()
+	stats := stop()
+	if err := lst.Err(); err != nil {
+		return nil, fmt.Errorf("laps: ingress receive: %w", err)
+	}
+
+	res := &RunResult{
+		Live:        *stats,
+		Generated:   st.Packets,
+		Scheduler:   scheduler.Name(),
+		Metrics:     reg,
+		AdminAddr:   adminAddr,
+		Ingress:     &st,
+		IngressAddr: lst.LocalAddr().String(),
+	}
+	if l := lapsOf(scheduler); l != nil {
+		ls := l.Stats()
+		res.LapsStats = &ls
+	}
+	return res, nil
+}
+
 // runShadow is conformance mode: the full simulation stack runs
 // unchanged, and a capture wrapper mirrors every (packet, target)
 // decision onto the live engine as it is made.
@@ -422,6 +589,9 @@ func runShadow(cfg RunConfig) (*RunResult, error) {
 	}
 	if cfg.Dispatchers > 0 {
 		return nil, fmt.Errorf("laps: Dispatchers is incompatible with shadow mode — sharded dispatch resolves packets against sampled snapshots, breaking decision conformance")
+	}
+	if cfg.Ingress != nil {
+		return nil, fmt.Errorf("laps: Ingress is incompatible with shadow mode — the mirror replays the simulator's arrival sequence, not live wire traffic")
 	}
 	if cfg.Metrics != nil || cfg.HTTPAddr != "" || cfg.HTTPListener != nil {
 		return nil, fmt.Errorf("laps: live telemetry (Metrics / HTTPAddr / HTTPListener) is incompatible with shadow mode — the mirror replays simulator decisions on the live engine, so its latencies and queue depths measure the mirror, not the system")
