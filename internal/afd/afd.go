@@ -187,16 +187,99 @@ func (d *Detector) ObserveH(f packet.FlowKey, h uint16) {
 	d.observe(f, h)
 }
 
+// ObserveBatchH offers n back-to-back references to one flow, exactly
+// equivalent to calling ObserveH(f, h) n times: the sampler draws n
+// times, the caches advance by the sampled count in one TouchN each,
+// and the promotion (if the annex count crosses the threshold mid-run)
+// happens at the same reference it would under per-packet observation.
+// Statistics, eviction state and rng consumption all match the
+// per-packet path bit for bit — this is what lets the burst dispatch
+// path batch AFD training without changing detector behaviour.
+func (d *Detector) ObserveBatchH(f packet.FlowKey, h uint16, n int) {
+	if n <= 0 {
+		return
+	}
+	d.stats.Observed += uint64(n)
+	if d.cfg.SampleProb < 1 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if d.rng.Float64() < d.cfg.SampleProb {
+				k++
+			}
+		}
+		if k == 0 {
+			return
+		}
+		n = k
+	}
+	d.observeN(f, h, uint64(n))
+}
+
+// observeN is observe for n sampled references of one flow. Each cache
+// level is probed once per observation (Find), with the count read,
+// touches and promotion removal all going through the handle — the
+// per-key work here runs once per flow run in a burst, but the annex
+// items table is large enough that redundant probes of it were the
+// single biggest dispatcher cost.
+func (d *Detector) observeN(f packet.FlowKey, h uint16, n uint64) {
+	d.stats.Sampled += n
+	if hd, ok := d.afc.Find(f, h); ok {
+		d.afc.TouchHandle(hd, n)
+		d.stats.AFCHits += n
+		return
+	}
+	hd, resident := d.annex.Find(f, h)
+	var c uint64
+	if resident {
+		c = hd.Count()
+	} else {
+		// The first reference misses and installs the flow in the annex,
+		// exactly like observe; the rest of the run hits it there.
+		d.stats.Misses++
+		d.annex.Insert(f, h, 1)
+		n--
+		c = 1
+		if n == 0 {
+			return
+		}
+		hd, _ = d.annex.Find(f, h)
+	}
+	// References hit the annex until the count first exceeds the
+	// promotion threshold; that reference promotes, and the remainder of
+	// the run hits the AFC.
+	var toPromote uint64
+	if c+n > d.cfg.PromoteThreshold {
+		if c > d.cfg.PromoteThreshold {
+			toPromote = 1
+		} else {
+			toPromote = d.cfg.PromoteThreshold - c + 1
+		}
+	}
+	if toPromote == 0 || toPromote > n {
+		d.annex.TouchHandle(hd, n)
+		d.stats.AnnexHits += n
+		return
+	}
+	count := d.annex.TouchHandle(hd, toPromote)
+	d.stats.AnnexHits += toPromote
+	d.promote(hd, f, h, count)
+	if rest := n - toPromote; rest > 0 {
+		d.afc.TouchN(f, h, rest)
+		d.stats.AFCHits += rest
+	}
+}
+
 func (d *Detector) observe(f packet.FlowKey, h uint16) {
 	d.stats.Sampled++
 	if _, ok := d.afc.Touch(f, h); ok {
 		d.stats.AFCHits++
 		return
 	}
-	if n, ok := d.annex.Touch(f, h); ok {
+	if hd, ok := d.annex.Find(f, h); ok {
+		n := d.annex.TouchHandle(hd, 1)
 		d.stats.AnnexHits++
 		if n > d.cfg.PromoteThreshold {
-			d.promote(f, h, n)
+			d.promote(hd, f, h, n)
 		}
 		return
 	}
@@ -204,10 +287,11 @@ func (d *Detector) observe(f packet.FlowKey, h uint16) {
 	d.annex.Insert(f, h, 1)
 }
 
-// promote moves f (with count n) from the annex into the AFC, demoting
-// the AFC's victim back into the annex in its place.
-func (d *Detector) promote(f packet.FlowKey, h uint16, n uint64) {
-	d.annex.Remove(f, h)
+// promote moves f (with count n, located in the annex by handle hd)
+// into the AFC, demoting the AFC's victim back into the annex in its
+// place.
+func (d *Detector) promote(hd cache.Handle, f packet.FlowKey, h uint16, n uint64) {
+	d.annex.RemoveHandle(hd)
 	victim, evicted := d.afc.Insert(f, h, n)
 	d.stats.Promotions++
 	if d.rec != nil {

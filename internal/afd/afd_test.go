@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"laps/internal/crc"
 	"laps/internal/packet"
 )
 
@@ -448,5 +449,46 @@ func BenchmarkDetectorObserveChurn(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Observe(flows[i&4095])
+	}
+}
+
+// TestObserveBatchMatchesSequential is the batch-observe equivalence
+// gate: for any interleaving of flows and batch sizes, ObserveBatchH(n)
+// must leave the detector in exactly the state n sequential ObserveH
+// calls would — same stats, same AFC and annex residents in the same
+// eviction order, same RNG consumption (checked by running sampling
+// decisions through both detectors from the same seed).
+func TestObserveBatchMatchesSequential(t *testing.T) {
+	for _, prob := range []float64{1, 0.35} {
+		cfg := Config{AFCSize: 8, AnnexSize: 32, PromoteThreshold: 5, SampleProb: prob, Seed: 31}
+		seq := New(cfg)
+		bat := New(cfg)
+
+		// A deterministic but irregular op stream: heavy flows, light
+		// flows, batch sizes that straddle the promote threshold and the
+		// annex capacity, plus enough distinct flows to force evictions.
+		r := rand.New(rand.NewPCG(7, 11))
+		for op := 0; op < 4000; op++ {
+			f := flow(int(r.Uint64() % 60))
+			n := 1 + int(r.Uint64()%9)
+			for i := 0; i < n; i++ {
+				seq.ObserveH(f, crc.FlowHash(f))
+			}
+			bat.ObserveBatchH(f, crc.FlowHash(f), n)
+		}
+
+		if seq.Stats() != bat.Stats() {
+			t.Fatalf("SampleProb=%v: stats diverge:\nsequential: %+v\nbatch:      %+v",
+				prob, seq.Stats(), bat.Stats())
+		}
+		se, be := seq.AggressiveEntries(), bat.AggressiveEntries()
+		if len(se) != len(be) {
+			t.Fatalf("SampleProb=%v: AFC sizes diverge: %d vs %d", prob, len(se), len(be))
+		}
+		for i := range se {
+			if se[i] != be[i] {
+				t.Fatalf("SampleProb=%v: AFC entry %d diverges: %+v vs %+v", prob, i, se[i], be[i])
+			}
+		}
 	}
 }

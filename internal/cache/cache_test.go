@@ -478,3 +478,46 @@ func BenchmarkLRUTouchHit(b *testing.B) {
 		c.Touch(keys[i&1023], hashes[i&1023])
 	}
 }
+
+// TestTouchNMatchesSequentialTouches pins the Cache interface's TouchN
+// contract on both policies: after any mixed sequence of inserts and
+// touches, a cache driven with TouchN(n) must hold the same entries in
+// the same eviction order as one driven with n sequential Touches.
+func TestTouchNMatchesSequentialTouches(t *testing.T) {
+	for name, mk := range constructors {
+		t.Run(name, func(t *testing.T) {
+			seq, bat := mk(8), mk(8)
+			r := rand.New(rand.NewPCG(5, 17))
+			for op := 0; op < 3000; op++ {
+				i := int(r.Uint64() % 24)
+				n := uint64(r.Uint64() % 7) // includes n == 0 (degenerates to Count)
+				if r.Uint64()%4 == 0 {
+					seq.Insert(ck(i), chash(i), 1)
+					bat.Insert(ck(i), chash(i), 1)
+					continue
+				}
+				var sc uint64
+				var sok bool
+				for j := uint64(0); j < n; j++ {
+					sc, sok = seq.Touch(ck(i), chash(i))
+				}
+				if n == 0 {
+					sc, sok = seq.Count(ck(i), chash(i))
+				}
+				bc, bok := bat.TouchN(ck(i), chash(i), n)
+				if sc != bc || sok != bok {
+					t.Fatalf("op %d: TouchN(%d) returned (%d,%v), sequential gave (%d,%v)", op, n, bc, bok, sc, sok)
+				}
+			}
+			se, be := seq.Entries(), bat.Entries()
+			if len(se) != len(be) {
+				t.Fatalf("resident counts diverge: %d vs %d", len(se), len(be))
+			}
+			for i := range se {
+				if se[i] != be[i] {
+					t.Fatalf("entry %d diverges: %+v vs %+v", i, se[i], be[i])
+				}
+			}
+		})
+	}
+}

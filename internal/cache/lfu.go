@@ -24,6 +24,7 @@ type lfuBucket struct {
 	head, tail *lfuNode // recency list: head = most recently touched
 	prev, next *lfuBucket
 	size       int
+	gen        uint32 // bumped on free; validates jump-index snapshots
 }
 
 // LFU is a least-frequently-used cache with O(1) Touch/Insert/Remove.
@@ -35,7 +36,16 @@ type LFU struct {
 	items    *flowtab.Table[*lfuNode]
 	min      *lfuBucket // bucket list head (smallest count), nil when empty
 	max      *lfuBucket // bucket list tail (largest count), nil when empty
-	hint     *lfuBucket // last bucketFor result; interior searches start here
+
+	// Jump index for interior bucketFor searches. Interior inserts come
+	// from victim-cache demotions whose counts are spread across the
+	// whole resident range with no locality, so a walk from any single
+	// hint averages O(buckets). The index is a periodically rebuilt
+	// sorted snapshot of the bucket list; a binary search lands next to
+	// the target and the list walk corrects whatever drifted since the
+	// snapshot. Freed buckets are detected by generation mismatch.
+	jump     []bucketRef
+	jumpLeft int // interior searches until the next rebuild
 
 	// Free lists recycle nodes and buckets: the steady state of a full
 	// cache is one insert+evict per miss, which would otherwise allocate
@@ -77,11 +87,71 @@ func (c *LFU) Touch(k Key, h uint16) (uint64, bool) {
 	return n.count, true
 }
 
+// TouchN records n references at once. A node touched n times in a row
+// passes through the intermediate frequency buckets only to leave them
+// again, so jumping straight to the bucket for count+n produces the
+// same bucket list and victim order as n single promotions.
+func (c *LFU) TouchN(k Key, h uint16, n uint64) (uint64, bool) {
+	if n == 0 {
+		return c.Count(k, h)
+	}
+	nd, ok := c.items.Get(k, h)
+	if !ok {
+		return 0, false
+	}
+	c.promoteN(nd, n)
+	return nd.count, true
+}
+
+// renumber handles the dominant promote shape O(1): the node is alone
+// in its bucket and no bucket exists for the new count, so relabeling
+// the bucket in place yields exactly the structure that unlink + fresh
+// bucket + relink would. Sparse count regions (every AFC resident, the
+// annex's demoted heavies) are all singleton buckets, so this skips the
+// free-list round trip on nearly every touch there.
+func (c *LFU) renumber(nd *lfuNode, newCount uint64) bool {
+	b := nd.bucket
+	if b.size != 1 || (b.next != nil && b.next.count <= newCount) {
+		return false
+	}
+	b.count = newCount
+	nd.count = newCount
+	return true
+}
+
+// promoteN moves nd from its bucket to the bucket for count+n.
+func (c *LFU) promoteN(nd *lfuNode, n uint64) {
+	b := nd.bucket
+	newCount := nd.count + n
+	if c.renumber(nd, newCount) {
+		return
+	}
+	c.unlinkNode(nd)
+	prev := b
+	for prev.next != nil && prev.next.count <= newCount {
+		prev = prev.next
+	}
+	target := prev
+	if target.count != newCount {
+		nb := c.newBucket(newCount)
+		c.insertBucketAfter(nb, prev)
+		target = nb
+	}
+	if b.size == 0 {
+		c.removeBucket(b)
+	}
+	nd.count = newCount
+	c.pushNode(target, nd)
+}
+
 // promote moves n from its bucket to the bucket for count+1.
 func (c *LFU) promote(n *lfuNode) {
 	b := n.bucket
 	target := b.next
 	newCount := n.count + 1
+	if c.renumber(n, newCount) {
+		return
+	}
 	c.unlinkNode(n)
 	if target == nil || target.count != newCount {
 		nb := c.newBucket(newCount)
@@ -142,6 +212,31 @@ func (c *LFU) Remove(k Key, h uint16) bool {
 	return true
 }
 
+// Find locates a resident key without touching it.
+func (c *LFU) Find(k Key, h uint16) (Handle, bool) {
+	n, ok := c.items.Get(k, h)
+	if !ok {
+		return Handle{}, false
+	}
+	return Handle{node: n, count: &n.count}, true
+}
+
+// TouchHandle records n references through a handle, equivalent to
+// TouchN minus the index probe.
+func (c *LFU) TouchHandle(hd Handle, n uint64) uint64 {
+	nd := hd.node.(*lfuNode)
+	if n > 0 {
+		c.promoteN(nd, n)
+	}
+	return nd.count
+}
+
+// RemoveHandle evicts the entry behind a handle, equivalent to Remove
+// minus the index probe.
+func (c *LFU) RemoveHandle(hd Handle) {
+	c.deleteNode(hd.node.(*lfuNode))
+}
+
 // Victim returns the entry Insert would evict next.
 func (c *LFU) Victim() (Entry, bool) {
 	if c.min == nil {
@@ -178,18 +273,39 @@ func (c *LFU) Reset() {
 	c.items.Reset()
 	c.min = nil
 	c.max = nil
-	c.hint = nil
+	c.jump = c.jump[:0]
+	c.jumpLeft = 0
 	c.freeNodes = nil
 	c.freeBuckets = nil
 }
+
+// bucketRef is one jump-index entry: a bucket and its count and
+// generation at snapshot time. A mismatched generation means the bucket
+// was freed (and possibly recycled) since the rebuild.
+type bucketRef struct {
+	count uint64
+	b     *lfuBucket
+	gen   uint32
+}
+
+// jumpRebuildEvery is how many interior searches a snapshot serves
+// before it is rebuilt; a search whose correcting walk ran long forces
+// an early rebuild. Rebuild walks the whole bucket list, so the
+// amortized cost is len(buckets)/jumpRebuildEvery steps per search;
+// staleness between rebuilds only lengthens the correcting walk, never
+// breaks it.
+const (
+	jumpRebuildEvery = 256
+	jumpStaleWalk    = 16
+)
 
 // bucketFor finds or creates the bucket with exactly the given count,
 // keeping the bucket list sorted ascending. Both ends are O(1), which
 // covers the two dominant insert shapes: fresh flows at count 1 and
 // demoted AFC victims whose count exceeds every resident. Interior
-// counts (victim-cache demotions below stale earlier demotions) resume
-// from the previous result; successive demotions carry similar counts,
-// so the walk is short in steady state.
+// counts (victim-cache demotions at essentially arbitrary resident
+// counts) binary-search the jump index for a nearby start, then walk
+// the live list to the exact spot.
 func (c *LFU) bucketFor(count uint64) *lfuBucket {
 	if c.min == nil || count <= c.min.count {
 		if c.min != nil && c.min.count == count {
@@ -209,24 +325,62 @@ func (c *LFU) bucketFor(count uint64) *lfuBucket {
 	}
 	// Interior: min.count < count < max.count, so a predecessor bucket
 	// exists on both sides of every step below.
-	b := c.hint
-	if b == nil {
-		b = c.min
-	}
+	b := c.seek(count)
+	steps := 0
 	for b.count > count {
 		b = b.prev
+		steps++
 	}
 	for b.next != nil && b.next.count <= count {
 		b = b.next
+		steps++
+	}
+	if steps > jumpStaleWalk {
+		c.jumpLeft = 0 // snapshot has drifted; refresh before the next search
 	}
 	if b.count == count {
-		c.hint = b
 		return b
 	}
 	nb := c.newBucket(count)
 	c.insertBucketAfter(nb, b)
-	c.hint = nb
 	return nb
+}
+
+// seek returns a live bucket near count to start the interior walk
+// from. Any live bucket is a correct start — the walk self-corrects —
+// so stale snapshot entries cost steps, not correctness.
+func (c *LFU) seek(count uint64) *lfuBucket {
+	if c.jumpLeft == 0 {
+		c.rebuildJump()
+	}
+	c.jumpLeft--
+	// Largest snapshot entry with count <= target.
+	lo, hi := 0, len(c.jump)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.jump[mid].count <= count {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// The candidate (or, if freed since the snapshot, its nearest
+	// still-live predecessor) starts the walk.
+	for i := lo - 1; i >= 0; i-- {
+		if r := &c.jump[i]; r.b.gen == r.gen {
+			return r.b
+		}
+	}
+	return c.min
+}
+
+// rebuildJump snapshots the bucket list into the sorted index.
+func (c *LFU) rebuildJump() {
+	c.jump = c.jump[:0]
+	for b := c.min; b != nil; b = b.next {
+		c.jump = append(c.jump, bucketRef{count: b.count, b: b, gen: b.gen})
+	}
+	c.jumpLeft = jumpRebuildEvery
 }
 
 // newBucket takes a bucket from the free list or allocates one.
@@ -263,9 +417,7 @@ func (c *LFU) insertBucketAfter(nb, prev *lfuBucket) {
 }
 
 func (c *LFU) removeBucket(b *lfuBucket) {
-	if c.hint == b {
-		c.hint = b.prev
-	}
+	b.gen++ // invalidate jump-index entries pointing here
 	if c.max == b {
 		c.max = b.prev
 	}

@@ -59,6 +59,21 @@ func (c *LRU) Touch(k Key, h uint16) (uint64, bool) {
 	return n.count, true
 }
 
+// TouchN records n references at once: the count advances by n and the
+// node moves to the front, exactly where n sequential touches leave it.
+func (c *LRU) TouchN(k Key, h uint16, n uint64) (uint64, bool) {
+	if n == 0 {
+		return c.Count(k, h)
+	}
+	nd, ok := c.items.Get(k, h)
+	if !ok {
+		return 0, false
+	}
+	nd.count += n
+	c.moveToFront(nd)
+	return nd.count, true
+}
+
 // Insert adds k with the given count, evicting the tail if full.
 func (c *LRU) Insert(k Key, h uint16, count uint64) (Entry, bool) {
 	if n, ok := c.items.Get(k, h); ok {
@@ -100,6 +115,34 @@ func (c *LRU) Remove(k Key, h uint16) bool {
 	c.unlink(n)
 	c.items.Delete(k, h)
 	return true
+}
+
+// Find locates a resident key without touching it.
+func (c *LRU) Find(k Key, h uint16) (Handle, bool) {
+	n, ok := c.items.Get(k, h)
+	if !ok {
+		return Handle{}, false
+	}
+	return Handle{node: n, count: &n.count}, true
+}
+
+// TouchHandle records n references through a handle, equivalent to
+// TouchN minus the index probe.
+func (c *LRU) TouchHandle(hd Handle, n uint64) uint64 {
+	nd := hd.node.(*lruNode)
+	if n > 0 {
+		nd.count += n
+		c.moveToFront(nd)
+	}
+	return nd.count
+}
+
+// RemoveHandle evicts the entry behind a handle, equivalent to Remove
+// minus the index probe.
+func (c *LRU) RemoveHandle(hd Handle) {
+	nd := hd.node.(*lruNode)
+	c.unlink(nd)
+	c.items.Delete(nd.key, nd.hash)
 }
 
 // Victim returns the least recently used entry.

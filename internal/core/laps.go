@@ -253,6 +253,14 @@ func (l *LAPS) Detector(s packet.ServiceID) *afd.Detector { return l.svc[s].det 
 // Target implements npsim.Scheduler; it is the Listing 1 fast path plus
 // the per-service map-table lookup of §III-E.
 func (l *LAPS) Target(p *packet.Packet, v npsim.View) int {
+	return l.TargetN(p, 1, v)
+}
+
+// TargetN implements npsim.BurstScheduler: one decision for a run of n
+// back-to-back packets of p's flow. The AFD observes all n references
+// in one batched (but per-packet-equivalent) update, and the scan /
+// imbalance machinery runs once per run instead of once per packet.
+func (l *LAPS) TargetN(p *packet.Packet, n int, v npsim.View) int {
 	if int(p.Service) >= len(l.svc) {
 		panic(fmt.Sprintf("core: packet for unconfigured service %d", p.Service))
 	}
@@ -265,7 +273,7 @@ func (l *LAPS) Target(p *packet.Packet, v npsim.View) int {
 	st := l.svc[p.Service]
 
 	// Background training of the AFD (off the critical path in hardware).
-	st.det.ObserveH(p.Flow, h)
+	st.det.ObserveBatchH(p.Flow, h, n)
 
 	// 1) Migration table has priority over the map table.
 	target, migrated := st.mig.GetH(p.Flow, h, now)

@@ -48,3 +48,16 @@ func Prime(p *packet.Packet) {
 	p.Hash = FlowHash(p.Flow)
 	p.HashOK = true
 }
+
+// PrimeBurst primes every not-yet-primed packet of a burst in one table
+// loop, the burst dispatch path's hash point: one pass touches the CRC
+// table while it is hot in L1 instead of re-warming it per packet, and
+// already-primed packets (ingress primes at the socket) cost one branch.
+func PrimeBurst(ps []*packet.Packet) {
+	for _, p := range ps {
+		if p != nil && !p.HashOK {
+			p.Hash = FlowHash(p.Flow)
+			p.HashOK = true
+		}
+	}
+}

@@ -81,3 +81,81 @@ func TestIngressZeroAllocSteadyState(t *testing.T) {
 		t.Fatalf("%d datagrams misdecoded during the alloc run", st.Malformed)
 	}
 }
+
+// TestPortableReceiverAllocs pins the widened no-alloc receive path:
+// any conn providing ReadFromUDPAddrPort — not just *net.UDPConn —
+// receives without a per-datagram allocation.
+func TestPortableReceiverAllocs(t *testing.T) {
+	var stopping atomic.Bool
+	fake := &fakeAddrPortConn{payload: []byte{1, 2, 3, 4}}
+	r := newPortableReceiver(fake, MaxDatagram, &stopping)
+	if avg := testing.AllocsPerRun(5000, func() {
+		if _, err := r.recv(nil); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("addr-port receive path allocates %.3f per datagram, want 0", avg)
+	}
+}
+
+// TestIngressBurstSinkZeroAlloc extends the steady-state guard to the
+// burst handoff: staging a datagram's packets and handing them to
+// BurstSink as one slice adds no allocation over the per-packet sink.
+func TestIngressBurstSinkZeroAlloc(t *testing.T) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := net.DialUDP("udp", nil, conn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	pool := packet.NewPool()
+	var got atomic.Uint64
+	l, err := New(Config{Conn: conn, Pool: pool, BurstSink: func(ps []*packet.Packet) {
+		got.Add(uint64(len(ps)))
+		for _, p := range ps {
+			pool.Put(p)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start(context.Background())
+
+	const perDatagram = 32
+	recs := make([]Record, perDatagram)
+	for i := range recs {
+		recs[i] = Record{
+			Flow:    packet.FlowKey{SrcIP: uint32(i), DstIP: 0xcafe, SrcPort: 80, DstPort: uint16(i), Proto: packet.ProtoUDP},
+			Service: packet.ServiceID(i % packet.NumServices),
+			Size:    64,
+			Seq:     uint64(i),
+		}
+	}
+	dg := EncodeDatagram(nil, recs)
+
+	var want uint64
+	cycle := func() {
+		if _, err := w.Write(dg); err != nil {
+			t.Fatal(err)
+		}
+		want += perDatagram
+		for got.Load() < want {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(2000, cycle); avg != 0 {
+		t.Fatalf("burst-sink steady state allocates %.3f per datagram, want 0", avg)
+	}
+	st := l.Stop()
+	if st.Malformed != 0 {
+		t.Fatalf("%d datagrams misdecoded during the alloc run", st.Malformed)
+	}
+}

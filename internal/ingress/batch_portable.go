@@ -2,20 +2,30 @@ package ingress
 
 import (
 	"net"
+	"net/netip"
 	"sync/atomic"
 )
 
+// addrPortReader is the allocation-free receive method: the peer comes
+// back as a value, so nothing escapes per datagram. *net.UDPConn has
+// it, and wrapper conns can provide it to stay on the no-alloc path —
+// the structural check below picks it up wherever it appears, rather
+// than gating on the concrete *net.UDPConn type.
+type addrPortReader interface {
+	ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error)
+}
+
 // portableReceiver is the lowest-common-denominator receive path: one
-// datagram per recv call through the portable net API. *net.UDPConn
-// gets ReadFromUDPAddrPort, which reports the peer as a value and so
-// allocates nothing; any other PacketConn pays ReadFrom's per-call
-// address allocation. Because the portable API cannot ask "would this
-// read block?", onIdle runs before every read — correct (no staged
-// packet waits on a silent socket) at the cost of publishing dispatch
-// batches more eagerly than the Linux path does.
+// datagram per recv call through the portable net API. Conns with
+// ReadFromUDPAddrPort allocate nothing; any other PacketConn pays
+// ReadFrom's per-call address allocation (documented, and pinned by
+// TestPortableReceiverAllocs). Because the portable API cannot ask
+// "would this read block?", onIdle runs before every read — correct
+// (no staged packet waits on a silent socket) at the cost of
+// publishing dispatch batches more eagerly than the Linux path does.
 type portableReceiver struct {
 	conn     net.PacketConn
-	udp      *net.UDPConn
+	udp      addrPortReader // non-nil = no-alloc path
 	stopping *atomic.Bool
 	b        []byte
 	n        int
@@ -23,7 +33,7 @@ type portableReceiver struct {
 
 func newPortableReceiver(conn net.PacketConn, maxDatagram int, stopping *atomic.Bool) *portableReceiver {
 	r := &portableReceiver{conn: conn, stopping: stopping, b: make([]byte, maxDatagram)}
-	r.udp, _ = conn.(*net.UDPConn)
+	r.udp, _ = conn.(addrPortReader)
 	return r
 }
 

@@ -27,10 +27,17 @@ type Config struct {
 	// packet; wire the engine's pool in for a zero-alloc steady state.
 	Pool *packet.Pool
 	// Sink receives every decoded packet, in datagram order, on the
-	// reader goroutine. Required. The sink owns the packet (hand it to
-	// the dispatcher or return it to the pool); the listener never
-	// touches it again.
+	// reader goroutine. The sink owns the packet (hand it to the
+	// dispatcher or return it to the pool); the listener never touches
+	// it again. Exactly one of Sink and BurstSink must be set.
 	Sink func(*packet.Packet)
+	// BurstSink receives each decoded datagram's packets as one slice,
+	// in datagram order, on the reader goroutine — the zero-copy handoff
+	// into the engine's burst dispatch path. The sink owns the packets;
+	// the slice itself is the listener's and is reused for the next
+	// datagram the moment the call returns, so the sink must not retain
+	// it. Exactly one of Sink and BurstSink must be set.
+	BurstSink func([]*packet.Packet)
 	// Flush, when non-nil, runs on the reader goroutine right before it
 	// blocks waiting for more datagrams — the hook the engine uses to
 	// publish partially staged dispatch batches so a pausing sender
@@ -76,6 +83,8 @@ type Listener struct {
 	rx    batchReceiver
 	pool  *packet.Pool
 	sink  func(*packet.Packet)
+	burst func([]*packet.Packet)
+	bbuf  []*packet.Packet // burst staging, reused across datagrams
 	clock func() sim.Time
 	emitF func(Record) // pre-bound emit, so deliver never allocates a closure
 
@@ -99,8 +108,8 @@ func New(cfg Config) (*Listener, error) {
 	if cfg.Conn == nil {
 		return nil, fmt.Errorf("ingress: Config.Conn is required")
 	}
-	if cfg.Sink == nil {
-		return nil, fmt.Errorf("ingress: Config.Sink is required")
+	if (cfg.Sink == nil) == (cfg.BurstSink == nil) {
+		return nil, fmt.Errorf("ingress: exactly one of Config.Sink and Config.BurstSink is required")
 	}
 	if cfg.Batch <= 0 {
 		cfg.Batch = 32
@@ -119,9 +128,13 @@ func New(cfg Config) (*Listener, error) {
 		cfg:   cfg,
 		pool:  cfg.Pool,
 		sink:  cfg.Sink,
+		burst: cfg.BurstSink,
 		clock: cfg.Clock,
 		start: time.Now(),
 		done:  make(chan struct{}),
+	}
+	if l.burst != nil {
+		l.bbuf = make([]*packet.Packet, 0, MaxRecords)
 	}
 	if l.clock == nil {
 		l.clock = func() sim.Time { return sim.Time(time.Since(l.start).Nanoseconds()) }
@@ -221,17 +234,31 @@ func (l *Listener) isShutdownErr(err error) bool {
 	return false
 }
 
-// deliver decodes one datagram and hands its packets to the sink.
+// deliver decodes one datagram and hands its packets to the sink —
+// one call per packet (Sink) or one call for the whole datagram
+// (BurstSink). A datagram that goes bad mid-way still delivers the
+// records decoded before the bad one, in both modes.
 func (l *Listener) deliver(b []byte) {
 	l.datagrams.Add(1)
-	if _, err := DecodeDatagram(b, l.emitF); err != nil {
+	_, err := DecodeDatagram(b, l.emitF)
+	if err != nil {
 		l.malformed.Add(1)
+	}
+	if l.burst != nil && len(l.bbuf) > 0 {
+		l.burst(l.bbuf)
+		// The sink owns the packets now; drop our references so the
+		// reused slice never aliases live descriptors.
+		for i := range l.bbuf {
+			l.bbuf[i] = nil
+		}
+		l.bbuf = l.bbuf[:0]
 	}
 }
 
 // emit is the per-record callback: fill a pooled descriptor, prime the
 // CRC16 flow hash — this is the socket's hash point, the only one on
-// the ingress path (docs/PERFORMANCE.md) — and hand it over.
+// the ingress path (docs/PERFORMANCE.md) — and hand it over (or stage
+// it for the datagram's burst).
 func (l *Listener) emit(r Record) {
 	p := l.pool.Get()
 	l.nextID++
@@ -243,6 +270,10 @@ func (l *Listener) emit(r Record) {
 	p.Arrival = l.clock()
 	crc.Prime(p)
 	l.packets.Add(1)
+	if l.burst != nil {
+		l.bbuf = append(l.bbuf, p)
+		return
+	}
 	l.sink(p)
 }
 
@@ -255,23 +286,72 @@ func (l *Listener) emit(r Record) {
 // with an already-expired read deadline, then let it re-enter the read
 // loop with a DrainGrace deadline — the stopping flag turns would-block
 // into a clean exit, so the reader stops the moment the kernel buffer
-// is empty rather than waiting out the grace.
+// is empty rather than waiting out the grace. Conns whose
+// SetReadDeadline errors (wrapper conns sometimes stub it out) fall
+// back to watching the datagram counter: the reader keeps consuming
+// whatever is queued, and Stop closes the socket only once the counter
+// goes quiet (or the grace runs out) — so queued datagrams still drain
+// instead of being dropped by an immediate Close.
 func (l *Listener) Stop() Stats {
 	if !l.started || l.stopped {
 		panic("ingress: Stop on a non-running listener")
 	}
 	l.stopped = true
 	l.stopping.Store(true)
-	if d, ok := l.cfg.Conn.(interface{ SetReadDeadline(time.Time) error }); ok {
-		d.SetReadDeadline(time.Now().Add(-time.Second)) //nolint:errcheck // close below is the backstop
-		select {
-		case <-l.done:
-		case <-time.After(l.cfg.DrainGrace + time.Second):
-			// Reader wedged past the grace (should not happen): fall
-			// through to Close, which forces it out.
-		}
+	if !l.pokeAndWait() {
+		l.drainByWatching()
 	}
 	l.cfg.Conn.Close() //nolint:errcheck // read side already drained
 	<-l.done
 	return l.Stats()
+}
+
+// pokeAndWait runs the deadline-based half of the drain protocol. It
+// reports false when the conn cannot be poked — SetReadDeadline is
+// missing or returns an error — in which case Stop falls back to
+// drainByWatching instead of closing a socket with datagrams still
+// queued behind a blocked read.
+func (l *Listener) pokeAndWait() bool {
+	d, ok := l.cfg.Conn.(interface{ SetReadDeadline(time.Time) error })
+	if !ok {
+		return false
+	}
+	if err := d.SetReadDeadline(time.Now().Add(-time.Second)); err != nil {
+		return false
+	}
+	select {
+	case <-l.done:
+	case <-time.After(l.cfg.DrainGrace + time.Second):
+		// Reader wedged past the grace (should not happen): the Close in
+		// Stop forces it out.
+	}
+	return true
+}
+
+// drainByWatching is the drain fallback for conns that cannot be poked
+// with a read deadline. The reader blocks only when the kernel buffer
+// is empty, so progress on the datagram counter means queued data is
+// still flowing; Stop waits until a few consecutive polls see no
+// progress (buffer empty, reader parked in a blocking read) or the
+// DrainGrace ceiling passes, then lets Close force the reader out.
+func (l *Listener) drainByWatching() {
+	const (
+		pollEvery = 2 * time.Millisecond
+		idlePolls = 3
+	)
+	deadline := time.Now().Add(l.cfg.DrainGrace)
+	last := l.datagrams.Load()
+	idle := 0
+	for idle < idlePolls && time.Now().Before(deadline) {
+		select {
+		case <-l.done:
+			return
+		case <-time.After(pollEvery):
+		}
+		if cur := l.datagrams.Load(); cur == last {
+			idle++
+		} else {
+			idle, last = 0, cur
+		}
+	}
 }

@@ -25,6 +25,7 @@ type Sender struct {
 
 	sent      uint64
 	datagrams uint64
+	dropped   uint64
 }
 
 // NewSender builds a sender that flushes every recsPerDatagram records
@@ -68,22 +69,37 @@ func (s *Sender) SendRecord(r Record) error {
 
 // Flush writes the pending datagram, if any. Call once after the last
 // Send so a partial datagram is not stranded.
+//
+// On a write error the pending records are dropped (counted in
+// Dropped) and the buffer reset before returning. Keeping them staged
+// for a retry would let count grow past MaxRecords on subsequent
+// Sends, and byte(count) would then silently wrap the wire's one-byte
+// record count — the receiver sees a well-formed datagram announcing
+// the wrong number of records and rejects the rest as a length
+// mismatch.
 func (s *Sender) Flush() error {
 	if s.count == 0 {
 		return nil
 	}
 	s.buf[3] = byte(s.count)
-	if _, err := s.w.Write(s.buf); err != nil {
+	n := s.count
+	_, err := s.w.Write(s.buf)
+	// Reset only after Write returns: appendHeader reuses buf's backing
+	// array, so resetting first would scribble over the outgoing bytes.
+	s.buf = appendHeader(s.buf[:0])
+	s.count = 0
+	if err != nil {
+		s.dropped += uint64(n)
 		return fmt.Errorf("ingress: send datagram: %w", err)
 	}
 	s.datagrams++
-	s.buf = appendHeader(s.buf[:0])
-	s.count = 0
 	return nil
 }
 
-// Sent reports records queued (flushed or pending), Datagrams the
-// datagrams written, and Flows the distinct flows sequenced so far.
+// Sent reports records queued (flushed, pending or dropped), Datagrams
+// the datagrams written, Dropped the records discarded by failed
+// flushes, and Flows the distinct flows sequenced so far.
 func (s *Sender) Sent() uint64      { return s.sent }
 func (s *Sender) Datagrams() uint64 { return s.datagrams }
+func (s *Sender) Dropped() uint64   { return s.dropped }
 func (s *Sender) Flows() int        { return s.seqs.Len() }

@@ -62,6 +62,18 @@ func NewReorderTracker() *ReorderTracker {
 	return &ReorderTracker{next: flowtab.New[watermark](1 << 14)}
 }
 
+// NewReorderTrackerSized returns an unbounded tracker pre-sized for
+// about hint flows, growing past that on demand. Sharded callers want
+// this: pre-sizing every shard for the full default working set turns
+// the combined tables into tens of megabytes that miss cache on every
+// record.
+func NewReorderTrackerSized(hint int) *ReorderTracker {
+	if hint <= 0 {
+		return NewReorderTracker()
+	}
+	return &ReorderTracker{next: flowtab.New[watermark](hint)}
+}
+
 // NewReorderTrackerCap returns a tracker that holds at most capacity
 // per-flow watermarks, evicting the oldest-inserted flow when a new one
 // would exceed it. capacity <= 0 means unbounded (same as
@@ -99,6 +111,23 @@ func (r *ReorderTracker) Record(p *packet.Packet) bool {
 func (r *ReorderTracker) RecordAt(p *packet.Packet, now sim.Time) (ooo bool, lagPkts uint64, lagTime sim.Time) {
 	r.delivered++
 	h := crc.PacketHash(p)
+	if r.cap == 0 {
+		// Unbounded tracker: one probe sequence serves both the lookup
+		// and the watermark update. Ref inserts a zero watermark on
+		// first sight, which the in-order branch then overwrites —
+		// exactly what Get-miss + Put did, minus the second probe.
+		w := r.next.Ref(p.Flow, h)
+		if p.FlowSeq+1 > w.next {
+			w.next, w.t = p.FlowSeq+1, now
+			return false, 0, 0
+		}
+		r.ooo++
+		lagPkts = w.next - 1 - p.FlowSeq
+		if now > w.t {
+			lagTime = now - w.t
+		}
+		return true, lagPkts, lagTime
+	}
 	cur, seen := r.next.Get(p.Flow, h)
 	if p.FlowSeq+1 > cur.next {
 		if !seen && r.cap > 0 {

@@ -46,6 +46,21 @@ type Scheduler interface {
 	Target(p *packet.Packet, v View) int
 }
 
+// BurstScheduler is implemented by schedulers that can decide once for
+// a run of n back-to-back packets of a single flow — the contract the
+// burst dispatch path uses: one decision and one batched detector
+// observation per flow run instead of n identical per-packet calls.
+// Burst dispatchers consult plain Schedulers once per run (the whole
+// run follows the first packet's decision); implementing TargetN lets a
+// scheduler additionally account for all n observations.
+type BurstScheduler interface {
+	Scheduler
+	// TargetN is Target for n consecutive packets of p's flow; it must
+	// return the same core Target would return for the run's first
+	// packet while recording n flow references.
+	TargetN(p *packet.Packet, n int, v View) int
+}
+
 // Config parameterises the processor model. The defaults reproduce the
 // paper's setup: 16 cores, 32-descriptor queues (per [32]), 0.8 µs flow
 // migration penalty, 10 µs cold-cache penalty.

@@ -97,3 +97,128 @@ func testDispatchZeroAlloc(t *testing.T, instrumented bool) {
 		}
 	}
 }
+
+// TestDispatchBurstZeroAlloc pins the burst path's allocation contract
+// on the legacy engine: grouping a 64-packet burst by flow, resolving
+// each group once, staging whole runs and flushing allocates nothing
+// per burst once warm — the scratch tables are engine-owned and the
+// flow groups reuse the chunk-sized arrays.
+func TestDispatchBurstZeroAlloc(t *testing.T) {
+	pool := packet.NewPool()
+	e, err := New(Config{
+		Workers: 2,
+		RingCap: 1024,
+		Batch:   64,
+		Sched:   hashSched{n: 2},
+		Policy:  BlockWhenFull,
+		Pool:    pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(context.Background())
+
+	const flows, burst = 512, 64
+	var keys [flows]packet.FlowKey
+	for i := range keys {
+		keys[i] = packet.FlowKey{SrcIP: uint32(i), DstIP: 0xcafe, SrcPort: 80, DstPort: uint16(i), Proto: 17}
+	}
+	var seqs [flows]uint64
+	var id uint64
+	next := 0
+	buf := make([]*packet.Packet, burst)
+	cycle := func() {
+		for i := range buf {
+			k := next % flows
+			next++
+			p := pool.Get()
+			id++
+			p.ID = id
+			p.Flow = keys[k]
+			p.Size = 256
+			p.FlowSeq = seqs[k]
+			seqs[k]++
+			crc.Prime(p)
+			buf[i] = p
+		}
+		e.DispatchBurst(buf)
+	}
+	for i := 0; i < 500; i++ {
+		cycle()
+	}
+	for i := 0; i < 8192; i++ {
+		pool.Put(new(packet.Packet))
+	}
+
+	avg := testing.AllocsPerRun(2000, cycle)
+
+	res := e.Stop()
+	if res.Dropped != 0 {
+		t.Fatalf("BlockWhenFull run dropped %d packets", res.Dropped)
+	}
+	if avg != 0 {
+		t.Fatalf("burst dispatch steady state allocates %.3f per burst, want 0", avg)
+	}
+}
+
+// TestIngestBurstZeroAlloc pins the same contract on the sharded data
+// plane's ingest edge: partitioning a burst across shards and pushing
+// per-shard runs with batched ring reservations allocates nothing.
+func TestIngestBurstZeroAlloc(t *testing.T) {
+	pool := packet.NewPool()
+	e, err := NewSharded(Config{
+		Workers:     2,
+		Dispatchers: 2,
+		RingCap:     1024,
+		Batch:       64,
+		Sched:       snapHash{n: 2},
+		Policy:      BlockWhenFull,
+		Pool:        pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(context.Background())
+
+	const flows, burst = 512, 64
+	var keys [flows]packet.FlowKey
+	for i := range keys {
+		keys[i] = packet.FlowKey{SrcIP: uint32(i), DstIP: 0xbeef, SrcPort: 80, DstPort: uint16(i), Proto: 17}
+	}
+	var seqs [flows]uint64
+	var id uint64
+	next := 0
+	buf := make([]*packet.Packet, burst)
+	cycle := func() {
+		for i := range buf {
+			k := next % flows
+			next++
+			p := pool.Get()
+			id++
+			p.ID = id
+			p.Flow = keys[k]
+			p.Size = 256
+			p.FlowSeq = seqs[k]
+			seqs[k]++
+			crc.Prime(p)
+			buf[i] = p
+		}
+		e.IngestBurst(buf)
+	}
+	for i := 0; i < 500; i++ {
+		cycle()
+	}
+	for i := 0; i < 8192; i++ {
+		pool.Put(new(packet.Packet))
+	}
+
+	avg := testing.AllocsPerRun(2000, cycle)
+
+	res := e.Stop()
+	if res.Dropped != 0 {
+		t.Fatalf("BlockWhenFull run dropped %d packets", res.Dropped)
+	}
+	if avg != 0 {
+		t.Fatalf("sharded burst ingest steady state allocates %.3f per burst, want 0", avg)
+	}
+}

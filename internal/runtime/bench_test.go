@@ -39,7 +39,15 @@ func benchPackets(n int, services int, seed uint64) []*packet.Packet {
 	return out
 }
 
-// runBench pushes b.N packets through a fresh engine and reports pps.
+// benchBurst is the vector length the dispatch benchmarks feed with.
+// The UDP front door delivers one datagram (up to 255 records) per
+// burst; 256 exercises the engine's full burstChunk grouping window on
+// top of that, the shape runLive's crossbar produces when coalescing.
+const benchBurst = 256
+
+// runBench pushes b.N packets through a fresh engine in benchBurst-size
+// bursts — the production feed shape since the ingress path went
+// datagram-as-burst — and reports pps.
 func runBench(b *testing.B, cfg Config, services int) {
 	pkts := benchPackets(b.N, services, 1)
 	e, err := New(cfg)
@@ -48,8 +56,12 @@ func runBench(b *testing.B, cfg Config, services int) {
 	}
 	b.ResetTimer()
 	e.Start(context.Background())
-	for _, p := range pkts {
-		e.Dispatch(p)
+	for i := 0; i < len(pkts); i += benchBurst {
+		end := i + benchBurst
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		e.DispatchBurst(pkts[i:end])
 	}
 	res := e.Stop()
 	b.StopTimer()
@@ -103,8 +115,9 @@ func BenchmarkThroughputSleep(b *testing.B) {
 	}
 }
 
-// runShardedBench pushes b.N packets through a fresh sharded engine and
-// reports pps, mirroring runBench for the snapshot data plane.
+// runShardedBench pushes b.N packets through a fresh sharded engine in
+// benchBurst-size bursts, mirroring runBench for the snapshot data
+// plane.
 func runShardedBench(b *testing.B, cfg Config, services int) {
 	pkts := benchPackets(b.N, services, 1)
 	e, err := NewSharded(cfg)
@@ -113,8 +126,12 @@ func runShardedBench(b *testing.B, cfg Config, services int) {
 	}
 	b.ResetTimer()
 	e.Start(context.Background())
-	for _, p := range pkts {
-		e.Ingest(p)
+	for i := 0; i < len(pkts); i += benchBurst {
+		end := i + benchBurst
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		e.IngestBurst(pkts[i:end])
 	}
 	res := e.Stop()
 	b.StopTimer()

@@ -1,0 +1,357 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"laps/internal/afd"
+	"laps/internal/core"
+	"laps/internal/crc"
+	"laps/internal/packet"
+)
+
+// burstFlows builds b bursts of the given distinct flows, each flow
+// appearing exactly once per burst in a fixed order, with correct
+// per-flow sequence numbers and primed hashes. The "stride" shape: a
+// flow never repeats within a burst, so burst grouping degenerates to
+// singleton groups and the burst path's decision sequence is
+// call-for-call identical to per-packet dispatch.
+func burstFlows(flows, bursts int) [][]*packet.Packet {
+	keys := make([]packet.FlowKey, flows)
+	for i := range keys {
+		keys[i] = packet.FlowKey{SrcIP: uint32(i), DstIP: 0xfeed, SrcPort: 443, DstPort: uint16(i), Proto: packet.ProtoUDP}
+	}
+	out := make([][]*packet.Packet, bursts)
+	var id uint64
+	for b := range out {
+		ps := make([]*packet.Packet, flows)
+		for i := range ps {
+			id++
+			ps[i] = &packet.Packet{
+				ID: id, Flow: keys[i], Service: packet.ServiceID(i % 2), Size: 128,
+				FlowSeq: uint64(b),
+			}
+			crc.Prime(ps[i])
+		}
+		out[b] = ps
+	}
+	return out
+}
+
+// quiesce waits until the engine's workers have retired want packets.
+func quiesce(tb testing.TB, e *Engine, want uint64) {
+	tb.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		var got uint64
+		for _, w := range e.workers {
+			got += w.processed.Load()
+		}
+		if got >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("quiesce timed out at %d of %d retired", got, want)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// TestBurstMatchesPerPacketExact is the strictest conformance gate:
+// with stride-shaped bursts (every flow at most once per burst) and a
+// quiesce between bursts, the burst path's counters must equal the
+// per-packet path's exactly — same dispatched, processed, migrations,
+// forced count, zero drops, zero reordering — under a deterministic
+// migration-storm scheduler. Singleton groups call the scheduler once
+// per packet in packet order, and quiescing pins every fence's
+// resolution point, so any counter drift is a burst-path bug, not
+// timing.
+func TestBurstMatchesPerPacketExact(t *testing.T) {
+	const flows, bursts = 64, 200
+	run := func(burst bool) (*Result, *flowLog) {
+		fl := newFlowLog()
+		e, err := New(Config{
+			Workers: 4,
+			RingCap: 1024,
+			Batch:   16,
+			Sched:   &flapSched{n: 4, period: 50},
+			Policy:  BlockWhenFull,
+			Handler: fl.handler,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Start(context.Background())
+		var fed uint64
+		for _, ps := range burstFlows(flows, bursts) {
+			if burst {
+				e.DispatchBurst(ps)
+			} else {
+				for _, p := range ps {
+					e.Dispatch(p)
+				}
+				e.Flush()
+			}
+			fed += uint64(len(ps))
+			quiesce(t, e, fed)
+		}
+		res := e.Stop()
+		checkConservation(t, res)
+		return res, fl
+	}
+	pp, ppLog := run(false)
+	bb, bbLog := run(true)
+
+	if pp.Dispatched != bb.Dispatched || pp.Processed != bb.Processed {
+		t.Fatalf("throughput counters differ: per-packet %d/%d vs burst %d/%d (dispatched/processed)",
+			pp.Dispatched, pp.Processed, bb.Dispatched, bb.Processed)
+	}
+	if pp.Dropped != 0 || bb.Dropped != 0 {
+		t.Fatalf("block-mode runs dropped packets: per-packet %d, burst %d", pp.Dropped, bb.Dropped)
+	}
+	if pp.OutOfOrder != 0 || bb.OutOfOrder != 0 {
+		t.Fatalf("reordering despite fencing: per-packet %d, burst %d", pp.OutOfOrder, bb.OutOfOrder)
+	}
+	if pp.Migrations != bb.Migrations {
+		t.Fatalf("migration counts differ: per-packet %d vs burst %d", pp.Migrations, bb.Migrations)
+	}
+	if pp.Fenced != bb.Fenced {
+		t.Fatalf("fenced counts differ: per-packet %d vs burst %d", pp.Fenced, bb.Fenced)
+	}
+	if pp.Migrations == 0 {
+		t.Fatal("migration storm produced no migrations")
+	}
+	if len(ppLog.seqs) != len(bbLog.seqs) {
+		t.Fatalf("flow sets differ: %d vs %d", len(ppLog.seqs), len(bbLog.seqs))
+	}
+	for f, s1 := range ppLog.seqs {
+		s2 := bbLog.seqs[f]
+		if len(s1) != len(s2) {
+			t.Fatalf("flow %v: %d packets per-packet vs %d burst", f, len(s1), len(s2))
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("flow %v delivery diverges at %d: %d vs %d", f, i, s1[i], s2[i])
+			}
+		}
+	}
+}
+
+// TestBurstInvariantsRepeatedFlows feeds Zipf-shaped bursts — flows
+// repeat within a burst, so real flow groups form — through the burst
+// path at full speed and pins the ordering invariants against a
+// per-packet reference run: zero reordering, zero drops, identical
+// per-flow delivery (every flow complete and in strict FlowSeq order).
+// Counter equality is not asserted here: fence resolution depends on
+// worker timing once the feed stops quiescing.
+func TestBurstInvariantsRepeatedFlows(t *testing.T) {
+	const n = 120000
+	schedulers := map[string]func() Config{
+		"flap": func() Config {
+			return Config{Workers: 4, RingCap: 64, Batch: 16,
+				Sched: &flapSched{n: 4, period: 700}, Policy: BlockWhenFull}
+		},
+		"laps": func() Config {
+			l := core.New(core.Config{TotalCores: 4, Services: 2, AFD: afd.Config{Seed: 7}})
+			return Config{Workers: 4, RingCap: 64, Batch: 16, Sched: l, Policy: BlockWhenFull}
+		},
+	}
+	for name, mkCfg := range schedulers {
+		t.Run(name, func(t *testing.T) {
+			run := func(burst bool) (*Result, *flowLog) {
+				fl := newFlowLog()
+				cfg := mkCfg()
+				cfg.Handler = fl.handler
+				e, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.Start(context.Background())
+				pkts := benchPackets(n, 2, 42)
+				if burst {
+					for i := 0; i < len(pkts); i += 64 {
+						end := i + 64
+						if end > len(pkts) {
+							end = len(pkts)
+						}
+						e.DispatchBurst(pkts[i:end])
+					}
+				} else {
+					for _, p := range pkts {
+						e.Dispatch(p)
+					}
+				}
+				res := e.Stop()
+				checkConservation(t, res)
+				if res.Dropped != 0 {
+					t.Fatalf("block-mode run dropped %d packets", res.Dropped)
+				}
+				if res.OutOfOrder != 0 {
+					t.Fatalf("fencing failed: %d out-of-order departures", res.OutOfOrder)
+				}
+				return res, fl
+			}
+			pp, ppLog := run(false)
+			bb, bbLog := run(true)
+			if pp.Processed != bb.Processed {
+				t.Fatalf("processed differ: per-packet %d vs burst %d", pp.Processed, bb.Processed)
+			}
+			if name == "flap" && (pp.Migrations == 0 || bb.Migrations == 0) {
+				t.Fatalf("storm produced no migrations: per-packet %d, burst %d", pp.Migrations, bb.Migrations)
+			}
+			if len(ppLog.seqs) != len(bbLog.seqs) {
+				t.Fatalf("flow sets differ: %d vs %d", len(ppLog.seqs), len(bbLog.seqs))
+			}
+			for f, s1 := range ppLog.seqs {
+				s2 := bbLog.seqs[f]
+				if len(s1) != len(s2) {
+					t.Fatalf("flow %v: %d packets per-packet vs %d burst", f, len(s1), len(s2))
+				}
+				for i := range s1 {
+					// Fencing makes each run's per-flow retirement strictly
+					// FlowSeq-ordered, so both must be the identity sequence.
+					if s1[i] != uint64(i) || s2[i] != uint64(i) {
+						t.Fatalf("flow %v out of sequence at %d: %d (per-packet) / %d (burst)",
+							f, i, s1[i], s2[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedBurstConformance mirrors the invariant gate on the
+// sharded data plane: IngestBurst under a snapshot-driven migration
+// storm must match plain Ingest on delivery — zero drops, zero
+// reordering, identical per-flow sequences — across shard counts,
+// including the multi-shard partition path.
+func TestShardedBurstConformance(t *testing.T) {
+	const n = 60000
+	for _, disp := range []int{1, 4} {
+		run := func(burst bool) (*Result, *flowLog) {
+			fl := newFlowLog()
+			e, err := NewSharded(Config{
+				Workers:     4,
+				Dispatchers: disp,
+				RingCap:     64,
+				Batch:       16,
+				Sched:       &snapFlap{n: 4, period: 400},
+				Policy:      BlockWhenFull,
+				Handler:     fl.handler,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Start(context.Background())
+			pkts := benchPackets(n, 2, 99)
+			if burst {
+				for i := 0; i < len(pkts); i += 64 {
+					end := i + 64
+					if end > len(pkts) {
+						end = len(pkts)
+					}
+					e.IngestBurst(pkts[i:end])
+				}
+			} else {
+				for _, p := range pkts {
+					e.Ingest(p)
+				}
+			}
+			res := e.Stop()
+			checkShardedConservation(t, res)
+			if res.Dropped != 0 {
+				t.Fatalf("Dispatchers=%d block-mode run dropped %d packets", disp, res.Dropped)
+			}
+			if res.OutOfOrder != 0 {
+				t.Fatalf("Dispatchers=%d reordered %d packets", disp, res.OutOfOrder)
+			}
+			return res, fl
+		}
+		pp, ppLog := run(false)
+		bb, bbLog := run(true)
+		if pp.Processed != bb.Processed {
+			t.Fatalf("Dispatchers=%d processed differ: ingest %d vs burst %d", disp, pp.Processed, bb.Processed)
+		}
+		if bb.Migrations == 0 {
+			t.Fatalf("Dispatchers=%d burst storm produced no migrations", disp)
+		}
+		if len(ppLog.seqs) != len(bbLog.seqs) {
+			t.Fatalf("Dispatchers=%d flow sets differ: %d vs %d", disp, len(ppLog.seqs), len(bbLog.seqs))
+		}
+		for f, s1 := range ppLog.seqs {
+			s2 := bbLog.seqs[f]
+			if len(s1) != len(s2) {
+				t.Fatalf("Dispatchers=%d flow %v: %d packets ingest vs %d burst", disp, f, len(s1), len(s2))
+			}
+			for i := range s1 {
+				if s1[i] != uint64(i) || s2[i] != uint64(i) {
+					t.Fatalf("Dispatchers=%d flow %v out of sequence at %d: %d / %d",
+						disp, f, i, s1[i], s2[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBurstScratchGroups pins the flow-grouping primitive itself: every
+// group's packets share one flow, groups come out in first-occurrence
+// order, the intra-group chain preserves packet order, and every packet
+// lands in exactly one group.
+func TestBurstScratchGroups(t *testing.T) {
+	const flows, n = 17, 200
+	ps := make([]*packet.Packet, n)
+	for i := range ps {
+		f := (i * 7) % flows
+		ps[i] = &packet.Packet{
+			ID:   uint64(i + 1),
+			Flow: packet.FlowKey{SrcIP: uint32(f), DstIP: 0xabcd, Proto: packet.ProtoUDP},
+		}
+		crc.Prime(ps[i])
+	}
+	bs := newBurstScratch()
+	groups := bs.group(ps)
+
+	seen := make(map[int]bool, n)
+	firstSeen := make(map[packet.FlowKey]int)
+	for i, p := range ps {
+		if _, ok := firstSeen[p.Flow]; !ok {
+			firstSeen[p.Flow] = i
+		}
+	}
+	lastFirst := -1
+	for _, g := range groups {
+		flow := ps[g.head].Flow
+		if ff := firstSeen[flow]; ff <= lastFirst {
+			t.Fatalf("groups not in first-occurrence order: flow %v (first at %d) after %d", flow, ff, lastFirst)
+		} else {
+			lastFirst = ff
+		}
+		count := int32(0)
+		prev := int32(-1)
+		for i := g.head; ; i = bs.next[i] {
+			if seen[int(i)] {
+				t.Fatalf("packet %d appears in two groups", i)
+			}
+			seen[int(i)] = true
+			if ps[i].Flow != flow {
+				t.Fatalf("group for %v contains packet of flow %v", flow, ps[i].Flow)
+			}
+			if i <= prev {
+				t.Fatalf("intra-group chain broke packet order: %d after %d", i, prev)
+			}
+			prev = i
+			count++
+			if i == g.tail {
+				break
+			}
+		}
+		if count != g.n {
+			t.Fatalf("group for %v chains %d packets, header says %d", flow, count, g.n)
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("groups cover %d of %d packets", len(seen), n)
+	}
+	bs.reset()
+}

@@ -40,7 +40,10 @@ func newSharedTracker(flowCap int) *sharedTracker {
 		if per > 0 {
 			s.shards[i].t = npsim.NewReorderTrackerCap(per)
 		} else {
-			s.shards[i].t = npsim.NewReorderTracker()
+			// Start each shard small and let it grow to its slice of the
+			// working set: 32 shards at the default 16k-flow pre-size
+			// would burn ~20 MB of tables and miss cache on every record.
+			s.shards[i].t = npsim.NewReorderTrackerSized(1 << 7)
 		}
 	}
 	return s
@@ -56,6 +59,33 @@ func (s *sharedTracker) record(p *packet.Packet, now sim.Time) (bool, uint64, si
 	ooo, lagPkts, lagTime := sh.t.RecordAt(p, now)
 	sh.mu.Unlock()
 	return ooo, lagPkts, lagTime
+}
+
+// recordBatch notes a batch of departures with no time stamps (the
+// telemetry-off fast path), locking each tracker shard once per
+// consecutive same-shard run instead of once per packet. Flow-grouped
+// bursts arrive as same-flow runs, so this is typically one lock per
+// flow run. Returns the number of out-of-order departures.
+func (s *sharedTracker) recordBatch(buf []*packet.Packet, n int) uint64 {
+	var ooo uint64
+	i := 0
+	for i < n {
+		si := crc.PacketHash(buf[i]) % reorderShards
+		j := i + 1
+		for j < n && crc.PacketHash(buf[j])%reorderShards == si {
+			j++
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for k := i; k < j; k++ {
+			if o, _, _ := sh.t.RecordAt(buf[k], 0); o {
+				ooo++
+			}
+		}
+		sh.mu.Unlock()
+		i = j
+	}
+	return ooo
 }
 
 // outOfOrder sums out-of-order departures across shards.

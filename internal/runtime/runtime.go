@@ -215,7 +215,9 @@ type Engine struct {
 	cfg     Config
 	workers []*worker
 	staged  [][]*packet.Packet
-	enqSeq  []uint64 // per-worker packets handed over (staged + pushed)
+	enqSeq  []uint64      // per-worker packets handed over (staged + pushed)
+	burst   *burstScratch // flow-run grouping state for DispatchBurst
+	occ     []int         // per-worker occupancy cache, valid within one burst (-1 = stale)
 
 	flows     *flowtab.Table[flowState]
 	flowCap   int
@@ -351,6 +353,8 @@ func New(cfg Config) (*Engine, error) {
 		e.live = append(e.live, i)
 	}
 	e.enqSeq = make([]uint64, cfg.Workers)
+	e.burst = newBurstScratch()
+	e.occ = make([]int, cfg.Workers)
 	if cfg.Telemetry != nil {
 		// After the worker loop: the per-worker gauge closures capture
 		// the constructed workers.
@@ -465,6 +469,14 @@ func (e *Engine) DispatchTo(p *packet.Packet, target int) bool {
 		// ring-wait histograms measure against.
 		p.Enqueued = e.Now()
 	}
+	return e.dispatchResolved(p, target)
+}
+
+// dispatchResolved is DispatchTo after the per-call bookkeeping
+// (dispatch count, health cadence, telemetry stamp) — the burst path
+// does those once per burst and re-enters here per packet when a flow
+// run cannot take the batched fast path.
+func (e *Engine) dispatchResolved(p *packet.Packet, target int) bool {
 	h := crc.PacketHash(p)
 	for {
 		t := target
@@ -582,7 +594,14 @@ func (e *Engine) endFence(f packet.FlowKey, svc packet.ServiceID, target, old in
 // instead of O(cap) per packet (the table overshoots the cap by at most
 // that hold-off per window; see Config.FlowStateCap).
 func (e *Engine) rememberFlow(f packet.FlowKey, h uint16, target int, fencedAt int64) {
-	if !e.flows.Has(f, h) && e.flows.Len() >= e.flowCap {
+	e.rememberFlowSeen(f, h, target, fencedAt, e.flows.Has(f, h))
+}
+
+// rememberFlowSeen is rememberFlow for callers that already probed the
+// table (the burst path, which holds the result of its single per-run
+// Get and skips the redundant Has).
+func (e *Engine) rememberFlowSeen(f packet.FlowKey, h uint16, target int, fencedAt int64, seen bool) {
+	if !seen && e.flows.Len() >= e.flowCap {
 		if e.sweepHold > 0 {
 			e.sweepHold--
 		} else {

@@ -31,12 +31,13 @@ import (
 //
 // The control plane is one goroutine that owns the real scheduler. It
 // consumes sampled flow observations from bounded per-shard feedback
-// channels (never blocking the shards), runs the scheduler's full
-// logic — AFD updates, imbalance checks, steals, splits/merges — for
-// its side effects, and republishes a fresh snapshot whenever the
-// scheduler's generation counter moves. Staleness is therefore bounded
-// by one control-plane loop iteration plus however long the feedback
-// sample that triggers a mutation sits in its channel.
+// rings (never blocking the shards; a within-burst flow run travels as
+// one aggregated record), runs the scheduler's full logic — AFD
+// updates, imbalance checks, steals, splits/merges — for its side
+// effects, and republishes a fresh snapshot whenever the scheduler's
+// generation counter moves. Staleness is therefore bounded by one
+// control-plane loop iteration plus however long the feedback sample
+// that triggers a mutation sits in its ring.
 //
 // Ordering: per-flow order is preserved by construction. A flow maps
 // to exactly one shard (flow-affine ingress), the shard enqueues its
@@ -57,7 +58,12 @@ type Sharded struct {
 	sp      npsim.SnapshotProvider
 
 	view     atomic.Pointer[dataPlaneView]
-	feedback []chan packet.Packet
+	feedback []*feedRing
+
+	// ingScratch stages an IngestBurst's packets per shard (ingress
+	// goroutine only), so a multi-shard burst costs one ring reservation
+	// per (shard, burst).
+	ingScratch [][]*packet.Packet
 
 	start    time.Time
 	runStart time.Time
@@ -140,6 +146,8 @@ type shard struct {
 	lastView *dataPlaneView
 	reaped   []bool // workers whose ring this shard has already drained
 	rec      *obs.Recorder
+	burst    *burstScratch // flow-run grouping state for the batch resolve
+	occ      []int         // per-worker occupancy cache, valid within one burst (-1 = stale)
 
 	sampleEvery int
 	obsSkip     int
@@ -209,7 +217,7 @@ func NewSharded(cfg Config) (*Sharded, error) {
 		rec:      cfg.Recorder,
 		perWDrop: make([]atomic.Uint64, cfg.Workers),
 		health:   make([]workerHealth, cfg.Workers),
-		feedback: make([]chan packet.Packet, n),
+		feedback: make([]*feedRing, n),
 		start:    time.Now(),
 	}
 	if e.rec != nil {
@@ -258,6 +266,8 @@ func NewSharded(cfg Config) (*Sharded, error) {
 			flowCap:     cfg.FlowStateCap/n + 1,
 			reaped:      make([]bool, cfg.Workers),
 			sampleEvery: cfg.SampleEvery,
+			burst:       newBurstScratch(),
+			occ:         make([]int, cfg.Workers),
 		}
 		for w := 0; w < cfg.Workers; w++ {
 			sh.staged = append(sh.staged, make([]*packet.Packet, 0, cfg.Batch))
@@ -267,7 +277,13 @@ func NewSharded(cfg Config) (*Sharded, error) {
 			sh.rec.SetClock(e.Now)
 		}
 		e.shards = append(e.shards, sh)
-		e.feedback[s] = make(chan packet.Packet, cfg.FeedbackCap)
+		e.feedback[s] = newFeedRing(cfg.FeedbackCap)
+	}
+	if n > 1 {
+		e.ingScratch = make([][]*packet.Packet, n)
+		for s := 0; s < n; s++ {
+			e.ingScratch[s] = make([]*packet.Packet, 0, burstChunk)
+		}
 	}
 	if cfg.Telemetry != nil {
 		// After the worker and shard loops: the per-worker and per-shard
@@ -433,8 +449,8 @@ func (s *shard) run() {
 				noteMax(&s.e.maxStaleness, age)
 			}
 		}
+		s.dispatchBurst(buf[:n])
 		for i := 0; i < n; i++ {
-			s.dispatch(buf[i])
 			buf[i] = nil
 		}
 	}
@@ -455,13 +471,14 @@ func (s *shard) shutdown() {
 	s.flushAll()
 }
 
-// dispatch resolves and enqueues one packet. The resolution loop
+// dispatchResolved resolves and enqueues one packet whose observation
+// was already fed to the control plane (observeN). The resolution loop
 // re-runs whenever the world shifts underneath it — a target died, a
 // view change triggered recovery — so every decision lands on current
-// state, exactly like the legacy engine's DispatchTo.
-func (s *shard) dispatch(p *packet.Packet) {
+// state, exactly like the legacy engine's DispatchTo. This is the burst
+// path's fallback for irregular flow runs.
+func (s *shard) dispatchResolved(p *packet.Packet) {
 	h := crc.PacketHash(p)
-	s.observe(p)
 	for {
 		v := s.syncView()
 		t := v.fwd.Forward(p)
@@ -570,21 +587,30 @@ func (s *shard) endFence(f packet.FlowKey, svc packet.ServiceID, target, old int
 	return 0
 }
 
-// observe feeds a (sampled) copy of the packet to the control plane,
-// never blocking: a full channel costs an observation, not latency.
-func (s *shard) observe(p *packet.Packet) {
+// observeN feeds a flow run of n packets to the control plane as one
+// aggregated (and sampled) observation record, never blocking: a full
+// ring costs observations, not latency. Records are staged locally and
+// published once per burst (publishObs), so the cross-core tail store
+// happens once per burst instead of once per sample.
+func (s *shard) observeN(p *packet.Packet, n int) {
+	k := n
 	if s.sampleEvery > 1 {
-		s.obsSkip++
-		if s.obsSkip < s.sampleEvery {
+		s.obsSkip += n
+		k = s.obsSkip / s.sampleEvery
+		s.obsSkip -= k * s.sampleEvery
+		if k == 0 {
 			return
 		}
-		s.obsSkip = 0
 	}
-	select {
-	case s.e.feedback[s.id] <- *p:
-	default:
-		s.feedbackDropped.Add(1)
+	if !s.e.feedback[s.id].tryPush(obsRec{pkt: *p, n: uint32(k)}) {
+		s.feedbackDropped.Add(uint64(k))
 	}
+}
+
+// publishObs makes the burst's staged observation records visible to
+// the control plane.
+func (s *shard) publishObs() {
+	s.e.feedback[s.id].publish()
 }
 
 // retiredOn is the per-shard fence signal: how many packets this shard
@@ -772,7 +798,13 @@ func (s *shard) flushAll() {
 // entries when the table outgrows its per-shard cap (same amortisation
 // as the legacy engine's rememberFlow).
 func (s *shard) rememberFlow(f packet.FlowKey, h uint16, target int, fencedAt int64) {
-	if !s.flows.Has(f, h) && s.flows.Len() >= s.flowCap {
+	s.rememberFlowSeen(f, h, target, fencedAt, s.flows.Has(f, h))
+}
+
+// rememberFlowSeen is rememberFlow for callers that already probed the
+// table (the burst path's single per-run Get).
+func (s *shard) rememberFlowSeen(f packet.FlowKey, h uint16, target int, fencedAt int64, seen bool) {
+	if !seen && s.flows.Len() >= s.flowCap {
 		if s.sweepHld > 0 {
 			s.sweepHld--
 		} else {
@@ -803,15 +835,15 @@ func (s *shard) countDrop(p *packet.Packet, w int) {
 // --- control plane goroutine ---
 
 // controlPlane owns the scheduler: it drains the shards' observation
-// channels through the real scheduler (for its control side effects),
+// rings through the real scheduler (for its control side effects),
 // scans worker health, and republishes the forwarding view whenever
 // the scheduler's generation moves.
 func (e *Sharded) controlPlane() {
 	defer close(e.cpDone)
-	// One reusable packet for the whole loop: a per-iteration receive
-	// variable would escape through &pkt and cost an allocation per
-	// sampled observation.
-	var pkt packet.Packet
+	// One reusable record buffer for the whole loop; a flow run arrives
+	// as one record and burst-capable schedulers consume it in one call.
+	obsBuf := make([]obsRec, e.cfg.Batch)
+	bs, burstSched := npsim.Scheduler(e.sp).(npsim.BurstScheduler)
 	for {
 		select {
 		case <-e.cpStop:
@@ -820,18 +852,22 @@ func (e *Sharded) controlPlane() {
 		}
 		progress := false
 		for i := range e.feedback {
-		drain:
-			for k := 0; k < e.cfg.Batch; k++ {
-				select {
-				case pkt = <-e.feedback[i]:
-					// The returned target is deliberately discarded: the
-					// data plane routes only against published snapshots,
-					// so decisions take effect atomically and in bulk.
-					e.sp.Target(&pkt, e)
-					progress = true
-				default:
-					break drain
+			n := e.feedback[i].popBatch(obsBuf)
+			for k := 0; k < n; k++ {
+				// The returned target is deliberately discarded: the
+				// data plane routes only against published snapshots,
+				// so decisions take effect atomically and in bulk.
+				rec := &obsBuf[k]
+				if burstSched {
+					bs.TargetN(&rec.pkt, int(rec.n), e)
+				} else {
+					for j := uint32(0); j < rec.n; j++ {
+						e.sp.Target(&rec.pkt, e)
+					}
 				}
+			}
+			if n > 0 {
+				progress = true
 			}
 		}
 		e.scanHealth()

@@ -166,12 +166,21 @@ func (w *worker) consume(src int, buf []*packet.Packet, n int) {
 	w.idleSince.Store(-1)
 	w.inflight.Store(int64(n))
 	w.batches.Add(1)
+	if w.work == WorkNone && w.handler == nil && w.tel == nil &&
+		w.rec == nil && w.slowUntil.IsZero() {
+		w.consumeFast(src, buf, n)
+		return
+	}
 	var popT sim.Time
 	if w.tel != nil {
 		popT = w.now()
 	}
-	if !w.slowUntil.IsZero() && time.Now().Before(w.slowUntil) {
-		time.Sleep(slowBatchDelay)
+	if !w.slowUntil.IsZero() {
+		if time.Now().Before(w.slowUntil) {
+			time.Sleep(slowBatchDelay)
+		} else {
+			w.slowUntil = time.Time{} // window over; re-enable the fast path
+		}
 	}
 	if w.work == WorkSleep {
 		// The batch's emulated service time must elapse BEFORE any
@@ -223,6 +232,29 @@ func (w *worker) consume(src int, buf []*packet.Packet, n int) {
 	if w.tel != nil {
 		w.tel.batchSvc.Record(w.id, int64(w.now()-popT))
 	}
+}
+
+// consumeFast retires a batch on the measurement path: no emulated
+// work, no handler, no telemetry, no recorder, no open slow window.
+// Departures are recorded with one tracker lock per consecutive
+// same-shard run (flow-grouped bursts arrive as same-flow runs, so
+// that is typically one lock per flow run) and the retirement
+// counters tick once per batch instead of once per packet. Coarser
+// retired/processed updates are safe: the migration fence only ever
+// sees a count that lags the true value, so a fence can release late,
+// never early, and inflight covers the whole batch until the final
+// store, so queueLen never under-reports in-service packets.
+func (w *worker) consumeFast(src int, buf []*packet.Packet, n int) {
+	if ooo := w.tracker.recordBatch(buf, n); ooo > 0 {
+		w.ooo.Add(ooo)
+	}
+	for i := 0; i < n; i++ {
+		w.pool.Put(buf[i])
+		buf[i] = nil
+	}
+	w.inflight.Store(0)
+	w.retired[src].Add(uint64(n))
+	w.processed.Add(uint64(n))
 }
 
 // applyFault fires the worker's next scheduled fault once its retired

@@ -376,14 +376,17 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 	if wantAdmin && reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	// Both engines are driven through the same three hooks so the
-	// arrival loop below stays engine-agnostic.
+	// Both engines are driven through the same hooks so the arrival
+	// loop below stays engine-agnostic. feedBurst is the vector variant
+	// the UDP front door uses: one datagram's packets dispatched as one
+	// burst (see docs/PERFORMANCE.md, "The burst path").
 	var (
-		start  func(context.Context)
-		feed   func(*packet.Packet)
-		flush  func()
-		stop   func() *rt.Result
-		health func() []telemetry.WorkerState
+		start     func(context.Context)
+		feed      func(*packet.Packet)
+		feedBurst func([]*packet.Packet)
+		flush     func()
+		stop      func() *rt.Result
+		health    func() []telemetry.WorkerState
 	)
 	if cfg.Dispatchers > 0 {
 		lc := liveConfig(cfg, cfg.Workers, scheduler, policy)
@@ -395,6 +398,7 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 		}
 		start = sharded.Start
 		feed = func(p *packet.Packet) { sharded.Ingest(p) }
+		feedBurst = func(ps []*packet.Packet) { sharded.IngestBurst(ps) }
 		flush = func() {} // shards drain their own ingress rings when idle
 		stop = sharded.Stop
 		health = sharded.Health
@@ -408,6 +412,7 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 		}
 		start = live.Start
 		feed = func(p *packet.Packet) { live.Dispatch(p) }
+		feedBurst = func(ps []*packet.Packet) { live.DispatchBurst(ps) }
 		flush = live.Flush
 		stop = live.Stop
 		health = live.Health
@@ -432,7 +437,7 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 	}
 
 	if cfg.Ingress != nil {
-		return runIngress(cfg, ctx, reg, adminAddr, scheduler, pool, start, feed, flush, stop)
+		return runIngress(cfg, ctx, reg, adminAddr, scheduler, pool, start, feedBurst, flush, stop)
 	}
 
 	// The sim engine here is purely an arrival sequencer: it runs the
@@ -496,12 +501,13 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 
 // runIngress drives the live engine from the UDP front door instead of
 // the virtual-clock arrival process: the socket-reader goroutine decodes
-// datagrams and feeds packets until the context is cancelled or the
-// wall-clock Duration elapses, then the listener drains the kernel
-// buffer (bounded by DrainGrace) and the engine drains its rings.
+// datagrams and feeds each one's packets to the dispatcher as a single
+// burst until the context is cancelled or the wall-clock Duration
+// elapses, then the listener drains the kernel buffer (bounded by
+// DrainGrace) and the engine drains its rings.
 func runIngress(cfg RunConfig, ctx context.Context, reg *MetricsRegistry, adminAddr string,
 	scheduler npsim.Scheduler, pool *packet.Pool,
-	start func(context.Context), feed func(*packet.Packet), flush func(), stop func() *rt.Result,
+	start func(context.Context), feedBurst func([]*packet.Packet), flush func(), stop func() *rt.Result,
 ) (*RunResult, error) {
 	ic := cfg.Ingress
 	conn := ic.Conn
@@ -511,23 +517,25 @@ func runIngress(cfg RunConfig, ctx context.Context, reg *MetricsRegistry, adminA
 			return nil, fmt.Errorf("laps: ingress listen: %w", err)
 		}
 	}
-	sink := feed
+	sink := feedBurst
 	if cfg.Context != nil {
 		// A cancelled run must not keep dispatching what the drain reads
 		// out of the kernel buffer: recycle those packets instead.
-		sink = func(p *packet.Packet) {
+		sink = func(ps []*packet.Packet) {
 			if ctx.Err() != nil {
-				pool.Put(p) // nil-safe
+				for _, p := range ps {
+					pool.Put(p) // nil-safe
+				}
 				return
 			}
-			feed(p)
+			feedBurst(ps)
 		}
 	}
 	lst, err := ingress.New(ingress.Config{
 		Conn:       conn,
 		Batch:      ic.Batch,
 		Pool:       pool,
-		Sink:       sink,
+		BurstSink:  sink,
 		Flush:      flush,
 		ReadBuffer: ic.ReadBuffer,
 		DrainGrace: ic.DrainGrace,
