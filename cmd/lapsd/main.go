@@ -45,6 +45,8 @@ var (
 	drainGrace = flag.Duration("drain-grace", 500*time.Millisecond, "shutdown ceiling for draining kernel-buffered datagrams")
 	detect     = flag.Duration("detect", 0, "health-monitor detection window for stalled workers (0 disables)")
 	sched      = flag.String("scheduler", "laps", "scheduler: laps, afs, hash-only or oracle")
+	flowBudget = flag.Int("flow-budget", 0, "bound exact per-flow state to this many flows; past it the stack degrades per -memory (0 = unbounded)")
+	memoryMode = flag.String("memory", "auto", "flow-state regime past -flow-budget (auto|exact|sketch); see docs/SCALE.md")
 	showVer    = flag.Bool("version", false, "print version and exit")
 )
 
@@ -70,10 +72,17 @@ func run() error {
 	fmt.Printf("lapsd: listening on udp %s (workers=%d scheduler=%s dispatchers=%d)\n",
 		conn.LocalAddr(), *workers, *sched, *disp)
 
+	mem, err := laps.ParseMemoryClass(*memoryMode)
+	if err != nil {
+		conn.Close()
+		return err
+	}
 	cfg := laps.RunConfig{
 		StackConfig: laps.StackConfig{
-			Scheduler: laps.SchedulerKind(*sched),
-			Duration:  sim.Time(duration.Nanoseconds()),
+			Scheduler:  laps.SchedulerKind(*sched),
+			Duration:   sim.Time(duration.Nanoseconds()),
+			FlowBudget: *flowBudget,
+			Memory:     mem,
 		},
 		Workers:      *workers,
 		Dispatchers:  *disp,
@@ -116,6 +125,10 @@ func run() error {
 	fmt.Printf("lapsd: engine processed=%d dropped=%d ooo=%d migrations=%d fenced=%d wall=%v throughput=%.0f pps\n",
 		l.Processed, l.Dropped, l.OutOfOrder, l.Migrations, l.Fenced,
 		l.Elapsed.Round(time.Millisecond), float64(l.Processed)/l.Elapsed.Seconds())
+	if *flowBudget > 0 || mem == laps.MemorySketch {
+		fmt.Printf("lapsd: memory class=%s budget=%d budget-hits=%d estimated-ooo=%d\n",
+			mem, *flowBudget, l.FlowBudgetHits, l.EstimatedOOO)
+	}
 	for _, w := range l.Workers {
 		status := ""
 		if w.Dead {

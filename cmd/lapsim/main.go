@@ -83,6 +83,8 @@ var (
 	liveBlock   = flag.Bool("live-block", false, "live mode: apply backpressure instead of dropping on full rings")
 	liveFaults  = flag.String("live-faults", "", "live mode: inject worker faults; comma-separated kind:worker@after[:duration] entries (stall:1@2000:500ms, slow:2@100:1s, kill:3@1500) or rand:SEED for a generated plan")
 	liveDetect  = flag.Duration("live-detect", 100*time.Millisecond, "live mode: health-monitor detection window for stalled/dead workers (0 disables the monitor)")
+	flowBudget  = flag.Int("flow-budget", 0, "live mode: bound exact per-flow state to this many flows; past it the stack degrades to sketch/hash-bucket tracking per -memory (0 = unbounded)")
+	memoryMode  = flag.String("memory", "auto", "live mode: flow-state regime past -flow-budget (auto|exact|sketch); see docs/SCALE.md")
 	pcapPath    = flag.String("pcap", "", "live mode: replay this pcap capture (looped) instead of the scenario traces")
 	httpAddr    = flag.String("http", "", "live mode: serve admin endpoints (/metrics, /healthz, /debug/pprof) on this address for the duration of the run")
 	showVer     = flag.Bool("version", false, "print version and exit")
@@ -109,6 +111,8 @@ var (
 		"live-block":       {"live"},
 		"live-faults":      {"live"},
 		"live-detect":      {"live"},
+		"flow-budget":      {"live"},
+		"memory":           {"live"},
 		"pcap":             {"live"},
 		"http":             {"live"},
 	}
@@ -254,11 +258,17 @@ func runLive(opts exp.Options) error {
 		return fmt.Errorf("unknown -live-work %q (want none, spin or sleep)", *liveWork)
 	}
 
+	mem, err := laps.ParseMemoryClass(*memoryMode)
+	if err != nil {
+		return err
+	}
 	cfg := laps.RunConfig{
 		StackConfig: laps.StackConfig{
 			Duration:        sim.Time(dur.Nanoseconds()),
 			TimeCompression: opts.ModelSeconds / dur.Seconds(),
 			Seed:            *seed,
+			FlowBudget:      *flowBudget,
+			Memory:          mem,
 		},
 		Workers:      *liveWorkers,
 		Dispatchers:  *liveDisp,
@@ -333,6 +343,10 @@ func runLive(opts exp.Options) error {
 	fmt.Printf("  migrations=%d fenced=%d out-of-order=%d max-fence-hold=%v throughput=%.0f pps\n",
 		l.Migrations, l.Fenced, l.OutOfOrder, l.MaxFenceHold.Round(time.Microsecond),
 		float64(l.Processed)/l.Elapsed.Seconds())
+	if *flowBudget > 0 || mem == laps.MemorySketch {
+		fmt.Printf("  memory: class=%s budget=%d budget-hits=%d estimated-ooo=%d\n",
+			mem, *flowBudget, l.FlowBudgetHits, l.EstimatedOOO)
+	}
 	if cfg.Faults != nil || l.WorkerDeaths > 0 {
 		fmt.Printf("  faults: stalls=%d deaths=%d reinjected=%d recovered-flows=%d forced=%d stranded=%d max-detect=%v\n",
 			l.WorkerStalls, l.WorkerDeaths, l.Reinjected, l.Recovered,

@@ -13,7 +13,7 @@ func TestIntegrationPaperOrderings(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration run takes ~10s")
 	}
-	run := func(kind laps.SchedulerKind) *laps.Result {
+	run := func(kind laps.SchedulerKind) *laps.SimResult {
 		res, err := laps.Simulate(laps.SimConfig{
 			StackConfig: laps.StackConfig{
 				Scheduler: kind,

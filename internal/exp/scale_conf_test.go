@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"testing"
+
+	"laps/internal/npsim"
+	"laps/internal/packet"
+	"laps/internal/sim"
+	"laps/internal/traffic"
+)
+
+// scenarioDepartures runs one scenario under LAPS and feeds every
+// departing packet to both trackers — the same departure stream, so
+// exact and sketch verdicts are packet-for-packet comparable. Returns
+// the run's metrics for context.
+func scenarioDepartures(sc Scenario, opts Options, trackers ...*npsim.ReorderTracker) npsim.Metrics {
+	opts = opts.withDefaults()
+	scheduler, cfg := buildScheduler(KindLAPS, opts, packet.NumServices, 0)
+	eng := sim.NewEngine()
+	sys := npsim.New(eng, cfg, scheduler)
+	sys.OnDepart = func(p *packet.Packet) {
+		for _, tr := range trackers {
+			tr.Record(p)
+		}
+	}
+	scale := calibrate(sc, opts)
+	var sources []traffic.ServiceSource
+	for svc := 0; svc < packet.NumServices; svc++ {
+		sources = append(sources, traffic.ServiceSource{
+			Service: packet.ServiceID(svc),
+			Params:  sc.Params[svc],
+			Trace:   sc.Group.Sources[svc](),
+		})
+	}
+	gen := traffic.NewGenerator(eng, traffic.Config{
+		Sources:         sources,
+		Duration:        opts.Duration,
+		TimeCompression: opts.compression(),
+		RateScale:       scale,
+		Seed:            opts.Seed,
+	}, sys.Inject)
+	gen.Start()
+	eng.Run()
+	return *sys.Metrics()
+}
+
+// TestScaleConformanceScenarios is the exact-vs-sketch conformance
+// suite over Table VI: every T1..T8 departure stream is scored by an
+// exact tracker and a sketch-budgeted tracker simultaneously, so the
+// verdicts are packet-for-packet comparable. The sketch must (a) never
+// under-report reordering — its one-sided-error contract — and (b)
+// over-report by no more than the documented false-positive allowance
+// for its width. docs/SCALE.md derives the bound.
+func TestScaleConformanceScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8 scenario simulations take a few seconds")
+	}
+	opts := Options{Duration: 3 * sim.Millisecond, Seed: 7}
+	const budget = 1 << 16 // sketch width 65536: wide enough for a 3 ms window's live flows
+	scs := Scenarios()
+	type pair struct {
+		m             npsim.Metrics
+		exact, sketch *npsim.ReorderTracker
+	}
+	results := parallelMap(opts.withDefaults().Workers, len(scs), func(i int) pair {
+		exact := npsim.NewTracker(npsim.TrackerConfig{})
+		sketch := npsim.NewTracker(npsim.TrackerConfig{FlowBudget: budget, Memory: npsim.MemorySketch})
+		m := scenarioDepartures(scs[i], opts, exact, sketch)
+		return pair{m: m, exact: exact, sketch: sketch}
+	})
+	for i, sc := range scs {
+		r := results[i]
+		exactOOO, sketchOOO := r.exact.OutOfOrder(), r.sketch.OutOfOrder()
+		if r.m.Completed == 0 {
+			t.Fatalf("%s: scenario completed no packets", sc.Name)
+		}
+		if sketchOOO < exactOOO {
+			t.Errorf("%s: sketch under-reports reordering: exact=%d sketch=%d (false negatives)",
+				sc.Name, exactOOO, sketchOOO)
+		}
+		if r.sketch.EstimatedOOO() != sketchOOO {
+			t.Errorf("%s: EstimatedOOO=%d but OutOfOrder=%d; a MemorySketch tracker estimates every detection",
+				sc.Name, r.sketch.EstimatedOOO(), sketchOOO)
+		}
+		// FP bound: per-packet FP ≤ (n/w)^d with n live flows, w=65536,
+		// d=4. Live flows in a 3 ms window stay well under 2^14, making
+		// the bound ≤ (1/4)^4 ≈ 0.4%; allow 1% of completed packets.
+		overshoot := sketchOOO - exactOOO
+		if limit := r.m.Completed/100 + 10; overshoot > limit {
+			t.Errorf("%s: sketch overshoot %d exceeds FP allowance %d (completed %d)",
+				sc.Name, overshoot, limit, r.m.Completed)
+		}
+		if r.exact.Estimating() || r.exact.BudgetHits() != 0 {
+			t.Errorf("%s: exact tracker degraded (hits=%d)", sc.Name, r.exact.BudgetHits())
+		}
+	}
+}
+
+// TestScaleSketchSystemRuns pins that a full MemorySketch system run —
+// bounded tracker, bounded flow-affinity table — completes every
+// scenario and surfaces its estimation in Metrics. The delay model may
+// legitimately differ from the exact run (coarse affinity changes
+// cold-cache accounting), so this asserts behaviour, not equality.
+func TestScaleSketchSystemRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario simulation takes a second")
+	}
+	opts := Options{Duration: 2 * sim.Millisecond, Seed: 7}.withDefaults()
+	scheduler, cfg := buildScheduler(KindLAPS, opts, packet.NumServices, 0)
+	cfg.FlowBudget = 1 << 10
+	cfg.Memory = npsim.MemorySketch
+	eng := sim.NewEngine()
+	sys := npsim.New(eng, cfg, scheduler)
+	sc := Scenarios()[4] // T5: overload, heavy migration
+	scale := calibrate(sc, opts)
+	var sources []traffic.ServiceSource
+	for svc := 0; svc < packet.NumServices; svc++ {
+		sources = append(sources, traffic.ServiceSource{
+			Service: packet.ServiceID(svc), Params: sc.Params[svc], Trace: sc.Group.Sources[svc](),
+		})
+	}
+	gen := traffic.NewGenerator(eng, traffic.Config{
+		Sources: sources, Duration: opts.Duration,
+		TimeCompression: opts.compression(), RateScale: scale, Seed: opts.Seed,
+	}, sys.Inject)
+	gen.Start()
+	eng.Run()
+	m := sys.Metrics()
+	if m.Completed == 0 {
+		t.Fatal("sketch-mode system completed no packets")
+	}
+	if m.OutOfOrder > 0 && m.EstimatedOOO != m.OutOfOrder {
+		t.Fatalf("MemorySketch run: EstimatedOOO=%d OutOfOrder=%d, want equal", m.EstimatedOOO, m.OutOfOrder)
+	}
+}

@@ -12,6 +12,13 @@
 //     on collision (the 16-bit hash is a coarse filter: with more than
 //     65536 resident flows every slot's filter collides somewhere, but
 //     the key compare keeps lookups correct — only probe lengths grow);
+//   - once the table outgrows the 16-bit hash domain (more than 65536
+//     slots), home slots switch to a full-width mix of the key itself:
+//     a 16-bit home can only address the low 65536 slots, so a larger
+//     table would cluster every entry there and probe chains would
+//     degenerate to O(n). Control words still filter on the 16-bit
+//     hash; only the probe start point changes, and small tables keep
+//     the hash-is-already-computed fast path;
 //   - tombstone-free deletion by backward shift (Knuth 6.4 algorithm R),
 //     so long-lived tables never degrade and Sweep never leaves debris;
 //   - growth at 3/4 occupancy by rehash into a table twice the size.
@@ -30,6 +37,25 @@ const occupied = 1 << 16
 // minSlots keeps even tiny tables a few slots wide so the probe loop
 // never has to reason about len < 2.
 const minSlots = 8
+
+// wideMask is the largest mask the 16-bit cached hash can address. Past
+// it, home slots come from keyHash instead.
+const wideMask = 0xFFFF
+
+// keyHash mixes the 13 key bytes into 64 bits (splitmix64 finalizer).
+// It is only consulted for tables wider than 65536 slots, where the
+// cached CRC16 cannot spread entries; correctness never depends on it,
+// only probe-chain length.
+func keyHash(k packet.FlowKey) uint64 {
+	x := uint64(k.SrcIP)<<32 | uint64(k.DstIP)
+	x ^= (uint64(k.SrcPort)<<24 | uint64(k.DstPort)<<8 | uint64(k.Proto) | 1<<40) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
 
 // Table is an open-addressed flow table. V is the per-flow value.
 // Not safe for concurrent use; callers shard or own the table.
@@ -66,11 +92,20 @@ func (t *Table[V]) Len() int { return t.n }
 // Slots returns the current slot count (diagnostics only).
 func (t *Table[V]) Slots() int { return len(t.ctrl) }
 
+// home returns k's home slot: the cached 16-bit hash while it can
+// address every slot, the full-width key mix once it can't.
+func (t *Table[V]) home(k packet.FlowKey, h uint16) uint32 {
+	if t.mask <= wideMask {
+		return uint32(h) & t.mask
+	}
+	return uint32(keyHash(k)) & t.mask
+}
+
 // find returns the slot index holding k, or the first empty slot in its
 // probe sequence when absent.
 func (t *Table[V]) find(k packet.FlowKey, h uint16) (uint32, bool) {
 	c := occupied | uint32(h)
-	i := uint32(h) & t.mask
+	i := t.home(k, h)
 	for {
 		ci := t.ctrl[i]
 		if ci == 0 {
@@ -157,7 +192,7 @@ func (t *Table[V]) deleteAt(i uint32) {
 		if c == 0 {
 			break
 		}
-		home := uint32(uint16(c)) & t.mask
+		home := t.home(t.keys[j], uint16(c))
 		if ((j - home) & t.mask) >= ((j - i) & t.mask) {
 			t.ctrl[i] = c
 			t.keys[i] = t.keys[j]
@@ -228,7 +263,7 @@ func (t *Table[V]) grow() {
 
 // insertFresh inserts a known-absent entry (rehash path: no dup check).
 func (t *Table[V]) insertFresh(c uint32, k packet.FlowKey, v V) {
-	i := uint32(uint16(c)) & t.mask
+	i := t.home(k, uint16(c))
 	for t.ctrl[i] != 0 {
 		i = (i + 1) & t.mask
 	}

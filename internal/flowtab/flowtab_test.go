@@ -211,6 +211,62 @@ func TestSweepQuick(t *testing.T) {
 	}
 }
 
+// TestWideTableSpreadsEntries pins the wide-home mode: past 65536 slots
+// the 16-bit cached hash can only address the low 65536 slots, so home
+// slots must switch to the full-width key mix or every entry clusters
+// there and probes degenerate to O(n). The test grows a table well past
+// the 16-bit domain, then checks correctness across growth (which
+// rehashes every entry through the narrow→wide transition), deletion
+// (backward shift must recompute wide homes from stored keys, not the
+// 16-bit ctrl hash), Sweep, and — the actual regression — that the high
+// half of the table is populated at all.
+func TestWideTableSpreadsEntries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide table test inserts 200k entries")
+	}
+	const n = 200_000
+	tb := New[int](0) // start minimal: growth crosses the 64k boundary
+	for i := 0; i < n; i++ {
+		tb.Put(fk(i), fh(i), i)
+	}
+	if tb.Slots() <= wideMask+1 {
+		t.Fatalf("table has %d slots, expected growth past %d", tb.Slots(), wideMask+1)
+	}
+	high := 0
+	tb.Range(func(packet.FlowKey, uint16, int) bool { return false }) // exercise early stop
+	for i := wideMask + 1; i < tb.Slots(); i++ {
+		if tb.ctrl[i] != 0 {
+			high++
+		}
+	}
+	// With uniform homes ~3/4 of entries land above slot 65536 in a
+	// 262144-slot table; clustered homes put zero there (entries only
+	// spill upward by linear probing, bounded by chain length).
+	if high < n/4 {
+		t.Fatalf("only %d entries above slot %d; wide homes not in effect", high, wideMask)
+	}
+	// Delete a third, exercising backward shift with wide homes.
+	for i := 0; i < n; i += 3 {
+		if !tb.Delete(fk(i), fh(i)) {
+			t.Fatalf("delete(%d) missed", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tb.Get(fk(i), fh(i))
+		if want := i%3 != 0; ok != want || (ok && v != i) {
+			t.Fatalf("get(%d) = %v,%v after deletions", i, v, ok)
+		}
+	}
+	// Sweep the rest down to one residue class and re-verify.
+	tb.Sweep(func(_ packet.FlowKey, _ uint16, v int) bool { return v%3 == 2 })
+	for i := 0; i < n; i++ {
+		_, ok := tb.Get(fk(i), fh(i))
+		if want := i%3 == 1; ok != want {
+			t.Fatalf("get(%d) = %v after sweep, want %v", i, ok, want)
+		}
+	}
+}
+
 // TestZeroAllocSteadyState pins the "zero allocs at capacity" claim:
 // once the table has grown to fit the working set, Get/Put/Delete/Ref
 // allocate nothing.

@@ -72,6 +72,13 @@ type Config struct {
 	Services       [packet.NumServices]ServiceDef
 	SharedQueue    bool // FCFS mode: one global queue feeds all cores
 	SharedQueueCap int  // 0 means NumCores × QueueCap
+
+	// FlowBudget bounds per-flow state (reorder watermarks and the
+	// flow-affinity table) according to Memory; 0 keeps exact unbounded
+	// state. See TrackerConfig and docs/SCALE.md.
+	FlowBudget int
+	// Memory selects the bounding strategy past FlowBudget.
+	Memory MemoryClass
 }
 
 // DefaultConfig returns the paper's processor configuration.
@@ -142,11 +149,17 @@ type System struct {
 
 	// flowLast records, per flow, 1 + the last core it was enqueued on
 	// (0 = never seen), so migration detection is a single probe of an
-	// open-addressed table keyed by the packet's cached hash.
-	flowLast *flowtab.Table[int32]
-	reorder  *ReorderTracker
-	m        Metrics
-	rec      *obs.Recorder // nil = no telemetry
+	// open-addressed table keyed by the packet's cached hash. Past the
+	// flow budget it degrades to affCoarse: one entry per CRC16 hash
+	// value, so migration detection becomes approximate at hash-bucket
+	// granularity (collisions can over- or under-count migrations) but
+	// memory stays constant.
+	flowLast  *flowtab.Table[int32]
+	affCoarse []int32 // nil until degraded; indexed by flow hash
+	affHits   uint64  // affinity budget-crossing degrades
+	reorder   *ReorderTracker
+	m         Metrics
+	rec       *obs.Recorder // nil = no telemetry
 
 	// OnDepart, if set, observes every completed packet at departure.
 	OnDepart func(*packet.Packet)
@@ -174,13 +187,21 @@ func New(eng *sim.Engine, cfg Config, sched Scheduler) *System {
 	if cfg.SharedQueueCap == 0 {
 		cfg.SharedQueueCap = cfg.NumCores * cfg.QueueCap
 	}
+	affHint := 1 << 14
+	if cfg.FlowBudget > 0 && cfg.FlowBudget < affHint {
+		affHint = cfg.FlowBudget
+	}
 	s := &System{
 		eng:       eng,
 		cfg:       cfg,
 		sched:     sched,
 		sharedCap: cfg.SharedQueueCap,
-		flowLast:  flowtab.New[int32](1 << 14),
-		reorder:   NewReorderTracker(),
+		flowLast:  flowtab.New[int32](affHint),
+		reorder:   NewTracker(TrackerConfig{FlowBudget: cfg.FlowBudget, Memory: cfg.Memory}),
+	}
+	if cfg.Memory == MemorySketch {
+		// Bounded from the start: affinity at hash-bucket granularity.
+		s.affCoarse = make([]int32, affBuckets)
 	}
 	for i := 0; i < cfg.NumCores; i++ {
 		co := &core{
@@ -201,7 +222,45 @@ func (s *System) Engine() *sim.Engine { return s.eng }
 func (s *System) Config() Config { return s.cfg }
 
 // Metrics returns the live metrics (read after the engine drains).
-func (s *System) Metrics() *Metrics { return &s.m }
+func (s *System) Metrics() *Metrics {
+	s.m.EstimatedOOO = s.reorder.EstimatedOOO()
+	s.m.FlowBudgetHits = s.affHits + s.reorder.BudgetHits()
+	return &s.m
+}
+
+// affBuckets is the coarse affinity table size: one int32 per CRC16
+// hash value (256 KB), covering the full hash space so every flow maps
+// to a stable bucket.
+const affBuckets = 1 << 16
+
+// lastCoreRef returns the "1 + last core" cell for p's flow: an exact
+// per-flow entry below the budget, a shared hash-bucket cell past it.
+func (s *System) lastCoreRef(p *packet.Packet) *int32 {
+	h := crc.PacketHash(p)
+	if s.affCoarse != nil {
+		return &s.affCoarse[h]
+	}
+	if s.cfg.FlowBudget > 0 && s.cfg.Memory != MemoryExact && s.flowLast.Len() > s.cfg.FlowBudget {
+		s.degradeAffinity()
+		return &s.affCoarse[h]
+	}
+	return s.flowLast.Ref(p.Flow, h)
+}
+
+// degradeAffinity switches migration tracking to hash-bucket
+// granularity: seed each bucket from the exact entries hashing into it
+// (last writer wins among collisions — affinity is a heuristic, unlike
+// the reorder watermarks there is no invariant to preserve), then
+// release the exact table.
+func (s *System) degradeAffinity() {
+	s.affCoarse = make([]int32, affBuckets)
+	s.flowLast.Range(func(_ packet.FlowKey, h uint16, last int32) bool {
+		s.affCoarse[h] = last
+		return true
+	})
+	s.flowLast = flowtab.New[int32](1 << 4)
+	s.affHits++
+}
 
 // Scheduler returns the attached scheduler (nil in pure FCFS mode).
 func (s *System) Scheduler() Scheduler { return s.sched }
@@ -295,7 +354,7 @@ func (s *System) enqueue(p *packet.Packet, co *core) {
 		}
 		return
 	}
-	last := s.flowLast.Ref(p.Flow, crc.PacketHash(p))
+	last := s.lastCoreRef(p)
 	if *last != 0 && int(*last-1) != co.id {
 		p.Migrated = true
 		s.m.Migrations++
@@ -317,7 +376,7 @@ func (s *System) injectShared(p *packet.Packet) {
 	// Hand to an idle core directly if any.
 	for _, co := range s.cores {
 		if !co.busy {
-			last := s.flowLast.Ref(p.Flow, crc.PacketHash(p))
+			last := s.lastCoreRef(p)
 			if *last != 0 && int(*last-1) != co.id {
 				p.Migrated = true
 				s.m.Migrations++
@@ -403,7 +462,7 @@ func (s *System) complete(co *core) {
 		next := s.shared[0]
 		copy(s.shared, s.shared[1:])
 		s.shared = s.shared[:len(s.shared)-1]
-		last := s.flowLast.Ref(next.Flow, crc.PacketHash(next))
+		last := s.lastCoreRef(next)
 		if *last != 0 && int(*last-1) != co.id {
 			next.Migrated = true
 			s.m.Migrations++

@@ -1,0 +1,176 @@
+package npsim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"laps/internal/packet"
+)
+
+// mixedFlow derives a well-spread flow key from an index (sequential
+// SrcIP-style keys concentrate the unluckiness of any fixed hash seed
+// onto reproducible flows; real 5-tuples look like this instead).
+func mixedFlow(n uint64) packet.FlowKey {
+	x := (n + 1) * 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return packet.FlowKey{
+		SrcIP: uint32(x >> 32), DstIP: uint32(x),
+		SrcPort: uint16(x >> 16), DstPort: uint16(x),
+	}
+}
+
+// budgetStream builds a deterministic packet stream over nFlows flows
+// with ~10% adjacent swaps — genuine reordering, preserved flow
+// locality.
+func budgetStream(nFlows, perFlow int, seed uint64) []*packet.Packet {
+	rng := rand.New(rand.NewPCG(seed, 77))
+	var ps []*packet.Packet
+	for f := 0; f < nFlows; f++ {
+		for s := 0; s < perFlow; s++ {
+			ps = append(ps, &packet.Packet{Flow: mixedFlow(uint64(f)), FlowSeq: uint64(s)})
+		}
+	}
+	for i := 0; i+1 < len(ps); i += 2 {
+		if rng.Float64() < 0.10 {
+			ps[i], ps[i+1] = ps[i+1], ps[i]
+		}
+	}
+	return ps
+}
+
+// TestTrackerSketchNeverMissesOOO is the exact-vs-sketch conformance
+// core: on the same stream, a sketch tracker wide enough for the flow
+// population must flag a superset of the exact tracker's out-of-order
+// departures (one-sided error), and the overshoot must stay within the
+// documented (n/w)^d false-positive bound.
+func TestTrackerSketchNeverMissesOOO(t *testing.T) {
+	const nFlows, perFlow = 400, 40
+	exact := NewTracker(TrackerConfig{})
+	sketch := NewTracker(TrackerConfig{Memory: MemorySketch, FlowBudget: 4096})
+	if !sketch.Estimating() {
+		t.Fatal("MemorySketch tracker not estimating from the start")
+	}
+	var exactOOO, sketchOOO uint64
+	for _, p := range budgetStream(nFlows, perFlow, 42) {
+		q := *p
+		if ooo, _, _ := exact.RecordAt(p, 0); ooo {
+			exactOOO++
+		}
+		if ooo, _, _ := sketch.RecordAt(&q, 0); ooo {
+			sketchOOO++
+		}
+	}
+	if exact.OutOfOrder() != exactOOO || sketch.OutOfOrder() != sketchOOO {
+		t.Fatal("counter mismatch with per-record tally")
+	}
+	if sketchOOO < exactOOO {
+		t.Fatalf("sketch missed reorderings: exact=%d sketch=%d (must be one-sided)", exactOOO, sketchOOO)
+	}
+	if sketch.EstimatedOOO() != sketchOOO {
+		t.Fatalf("EstimatedOOO=%d, want every sketch OOO (%d) counted as estimated", sketch.EstimatedOOO(), sketchOOO)
+	}
+	// FP bound: width = sketchWidth(4096) = 4096, depth 4, n = 400 live
+	// flows → a flow has all d buckets contaminated with probability
+	// (400/4096)^4 ≈ 9e-5, and FPs come in whole-flow bursts (flows are
+	// emitted sequentially, so a contaminated flow mis-flags most of its
+	// packets). Expected contaminated flows ≈ 0.036; allow two.
+	if overshoot := sketchOOO - exactOOO; overshoot > uint64(2*perFlow) {
+		t.Fatalf("sketch overshoot %d exceeds FP bound %d", overshoot, 2*perFlow)
+	}
+	if sketch.SketchBytes() == 0 {
+		t.Fatal("sketch tracker reports zero sketch bytes")
+	}
+}
+
+// TestTrackerAutoDegrades pins the MemoryAuto transition: exact until
+// the live-flow count crosses FlowBudget, then sketch — with the exact
+// table's watermarks seeded into the sketch so the invariant (estimate
+// never below truth) survives the handoff.
+func TestTrackerAutoDegrades(t *testing.T) {
+	const budget = 64
+	r := NewTracker(TrackerConfig{FlowBudget: budget, Memory: MemoryAuto})
+	if r.Estimating() {
+		t.Fatal("auto tracker estimating before the budget was hit")
+	}
+	// Drive seq 0..9 in order for 2× the budget's worth of flows. The
+	// post-degrade record count (~640) stays under the sketch's aging
+	// horizon (width 1024), so seeded watermarks are still warm below.
+	for f := uint32(0); f < 2*budget; f++ {
+		for s := uint64(0); s < 10; s++ {
+			if ooo, _, _ := r.RecordAt(&packet.Packet{Flow: flowN(f), FlowSeq: s}, 0); ooo {
+				t.Fatalf("in-order stream flagged OOO (flow %d seq %d)", f, s)
+			}
+		}
+	}
+	if !r.Estimating() {
+		t.Fatalf("auto tracker still exact after %d flows under budget %d", 2*budget, budget)
+	}
+	if r.BudgetHits() != 1 {
+		t.Fatalf("BudgetHits=%d, want exactly 1 degrade transition", r.BudgetHits())
+	}
+	// A flow tracked before the degrade must keep its watermark inside
+	// the aging horizon: seq 3 of flow 0 (watermark 10) is a genuine
+	// reordering.
+	if ooo, _, _ := r.RecordAt(&packet.Packet{Flow: flowN(0), FlowSeq: 3}, 0); !ooo {
+		t.Fatal("pre-degrade watermark lost: stale packet not flagged")
+	}
+	// Reset reverts auto mode to exact.
+	r.Reset()
+	if r.Estimating() || r.BudgetHits() != 0 || r.EstimatedOOO() != 0 {
+		t.Fatal("Reset did not revert auto tracker to exact mode")
+	}
+}
+
+// TestTrackerAutoNoBudgetNeverDegrades pins that MemoryAuto with no
+// budget (the zero config) is plain exact tracking.
+func TestTrackerAutoNoBudgetNeverDegrades(t *testing.T) {
+	r := NewTracker(TrackerConfig{})
+	for f := uint32(0); f < 5000; f++ {
+		r.RecordAt(&packet.Packet{Flow: flowN(f), FlowSeq: 0}, 0)
+	}
+	if r.Estimating() || r.BudgetHits() != 0 {
+		t.Fatal("zero-config tracker degraded")
+	}
+	if r.Flows() != 5000 {
+		t.Fatalf("Flows=%d, want 5000 exact entries", r.Flows())
+	}
+}
+
+// TestTrackerExactBudgetIsFIFOCap pins MemoryExact: the budget is a
+// hard cap with FIFO eviction, never a sketch.
+func TestTrackerExactBudgetIsFIFOCap(t *testing.T) {
+	r := NewTracker(TrackerConfig{FlowBudget: 8, Memory: MemoryExact})
+	for f := uint32(0); f < 100; f++ {
+		r.RecordAt(&packet.Packet{Flow: flowN(f), FlowSeq: 0}, 0)
+	}
+	if r.Estimating() {
+		t.Fatal("MemoryExact tracker degraded to sketch")
+	}
+	if r.Flows() != 8 {
+		t.Fatalf("Flows=%d, want hard cap 8", r.Flows())
+	}
+	if r.Evicted() != 92 {
+		t.Fatalf("Evicted=%d, want 92", r.Evicted())
+	}
+}
+
+// TestParseMemoryClass pins the CLI surface.
+func TestParseMemoryClass(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want MemoryClass
+	}{{"auto", MemoryAuto}, {"exact", MemoryExact}, {"sketch", MemorySketch}} {
+		got, err := ParseMemoryClass(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseMemoryClass(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() round-trip: %q != %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseMemoryClass("bogus"); err == nil {
+		t.Fatal("ParseMemoryClass accepted garbage")
+	}
+}

@@ -1,0 +1,144 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+
+	"laps/internal/npsim"
+)
+
+// TestBudgetSketchFencedOrdering drives the classic engine through a
+// migration storm with MemorySketch bounding every per-flow structure
+// from the start: the reorder tracker is a sketch and fencing runs at
+// hash-bucket granularity (coarseFence). Zero out-of-order departures
+// stays an absolute invariant — the coarse fence releases a bucket only
+// once every in-flight packet that entered under the old core has
+// retired, and the sketch's error is one-sided, so a zero reading
+// proves real ordering held.
+func TestBudgetSketchFencedOrdering(t *testing.T) {
+	e, err := New(Config{
+		Workers:    4,
+		RingCap:    64,
+		Batch:      16,
+		Sched:      &flapSched{n: 4, period: 700},
+		FlowBudget: 1 << 16,
+		Memory:     npsim.MemorySketch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(context.Background())
+	feed(t, e, 120000, 2, 42)
+	res := e.Stop()
+	checkConservation(t, res)
+	if res.OutOfOrder != 0 {
+		t.Fatalf("coarse fencing failed: %d out-of-order departures", res.OutOfOrder)
+	}
+	if res.EstimatedOOO != res.OutOfOrder {
+		t.Fatalf("MemorySketch run: EstimatedOOO=%d OutOfOrder=%d, want equal", res.EstimatedOOO, res.OutOfOrder)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("migration storm produced no migrations")
+	}
+	if res.Fenced == 0 {
+		t.Fatal("storm produced no fenced packets")
+	}
+}
+
+// TestBudgetAutoDegradeFencedOrdering pins the MemoryAuto transition on
+// the classic engine: a flow budget far below the live-flow population
+// forces the dispatcher's exact fence table into a futile sweep, after
+// which it activates coarse fencing (FlowBudgetHits) — and ordering
+// must survive the handoff, because the exact table stays authoritative
+// for entries it still holds while new fences land in buckets.
+func TestBudgetAutoDegradeFencedOrdering(t *testing.T) {
+	e, err := New(Config{
+		Workers:    4,
+		RingCap:    64,
+		Batch:      16,
+		Sched:      &flapSched{n: 4, period: 700},
+		FlowBudget: 256,
+		Memory:     npsim.MemoryAuto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(context.Background())
+	feed(t, e, 120000, 2, 42)
+	res := e.Stop()
+	checkConservation(t, res)
+	if res.OutOfOrder != 0 {
+		t.Fatalf("ordering broke across the exact→coarse handoff: %d out-of-order departures", res.OutOfOrder)
+	}
+	if res.FlowBudgetHits == 0 {
+		t.Fatalf("budget 256 with ~1000 live flows never degraded (hits=0)")
+	}
+	if res.Migrations == 0 {
+		t.Fatal("migration storm produced no migrations")
+	}
+	t.Logf("auto-degrade: budget-hits=%d fenced=%d estimated-ooo=%d",
+		res.FlowBudgetHits, res.Fenced, res.EstimatedOOO)
+}
+
+// TestShardedBudgetSketchFencedOrdering is the sharded twin of
+// TestBudgetSketchFencedOrdering: snapshot-driven migration storm, four
+// dispatcher shards, per-shard coarse fences active from the start.
+func TestShardedBudgetSketchFencedOrdering(t *testing.T) {
+	e, err := NewSharded(Config{
+		Workers:     4,
+		Dispatchers: 4,
+		RingCap:     64,
+		Batch:       16,
+		Sched:       &snapFlap{n: 4, period: 400},
+		Policy:      BlockWhenFull,
+		FlowBudget:  1 << 16,
+		Memory:      npsim.MemorySketch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(context.Background())
+	feedSharded(t, e, 120000, 2, 42)
+	res := e.Stop()
+	checkShardedConservation(t, res)
+	if res.OutOfOrder != 0 {
+		t.Fatalf("sharded coarse fencing failed: %d out-of-order departures", res.OutOfOrder)
+	}
+	if res.EstimatedOOO != res.OutOfOrder {
+		t.Fatalf("MemorySketch run: EstimatedOOO=%d OutOfOrder=%d, want equal", res.EstimatedOOO, res.OutOfOrder)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("snapshot-driven migration storm produced no migrations")
+	}
+}
+
+// TestShardedBudgetAutoDegradeFencedOrdering forces the per-shard
+// exact→coarse handoff on the sharded engine and checks ordering plus
+// the degrade signal.
+func TestShardedBudgetAutoDegradeFencedOrdering(t *testing.T) {
+	e, err := NewSharded(Config{
+		Workers:     4,
+		Dispatchers: 4,
+		RingCap:     64,
+		Batch:       16,
+		Sched:       &snapFlap{n: 4, period: 400},
+		Policy:      BlockWhenFull,
+		FlowBudget:  256,
+		Memory:      npsim.MemoryAuto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(context.Background())
+	feedSharded(t, e, 120000, 2, 42)
+	res := e.Stop()
+	checkShardedConservation(t, res)
+	if res.OutOfOrder != 0 {
+		t.Fatalf("ordering broke across the sharded exact→coarse handoff: %d out-of-order departures", res.OutOfOrder)
+	}
+	if res.FlowBudgetHits == 0 {
+		t.Fatalf("per-shard budget with ~1000 live flows never degraded (hits=0)")
+	}
+	t.Logf("sharded auto-degrade: budget-hits=%d fenced=%d estimated-ooo=%d",
+		res.FlowBudgetHits, res.Fenced, res.EstimatedOOO)
+}

@@ -177,7 +177,7 @@ func (e *Engine) dispatchGroup(ps []*packet.Packet, g *flowGroup, target int) in
 	}
 	h := g.hash
 	kind := routePlain
-	st, seen := e.flows.Get(first.Flow, h)
+	st, seen, coarse := e.fenceLookup(first.Flow, h)
 	fencedAt, fenceSeq := int64(0), uint64(0)
 	t := target
 	old := -1
@@ -237,7 +237,11 @@ func (e *Engine) dispatchGroup(ps []*packet.Packet, g *flowGroup, target int) in
 			}
 		}
 	}
-	e.rememberFlowSeen(f, h, t, fencedAt, seen)
+	if coarse {
+		e.coarse.put(h, int32(t), e.enqSeq[t], fencedAt)
+	} else {
+		e.rememberFlowSeen(f, h, t, fencedAt, seen)
+	}
 	if len(e.staged[t]) >= e.cfg.Batch {
 		e.flushWorker(t)
 	}
@@ -381,7 +385,7 @@ func (s *shard) dispatchGroup(ps []*packet.Packet, g *flowGroup) {
 	}
 	h := g.hash
 	kind := routePlain
-	st, seen := s.flows.Get(first.Flow, h)
+	st, seen, coarse := s.fenceLookup(first.Flow, h)
 	fencedAt, fenceSeq := int64(0), uint64(0)
 	old, want := -1, t
 	if seen {
@@ -447,7 +451,11 @@ func (s *shard) dispatchGroup(ps []*packet.Packet, g *flowGroup) {
 			}
 		}
 	}
-	s.rememberFlowSeen(f, h, t, fencedAt, seen)
+	if coarse {
+		s.coarse.put(h, int32(t), s.enqSeq[t], fencedAt)
+	} else {
+		s.rememberFlowSeen(f, h, t, fencedAt, seen)
+	}
 	if len(s.staged[t]) >= s.e.cfg.Batch {
 		s.flushWorker(t)
 	}

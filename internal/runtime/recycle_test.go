@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	stdrt "runtime"
 	"testing"
 
 	"laps/internal/crc"
@@ -43,6 +44,9 @@ func feedRecycled(tb testing.TB, pool *packet.Pool, dispatch func(*packet.Packet
 		seqs[rec.Flow]++
 		crc.Prime(p)
 		dispatch(p)
+		if i%feedYield == feedYield-1 {
+			stdrt.Gosched()
+		}
 	}
 }
 

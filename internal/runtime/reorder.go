@@ -27,24 +27,40 @@ type sharedTracker struct {
 	}
 }
 
-// newSharedTracker builds a tracker. flowCap <= 0 keeps unbounded
-// per-flow state; otherwise the bound is split across shards (minimum 1
-// flow per shard).
-func newSharedTracker(flowCap int) *sharedTracker {
+// trackerConfig maps an engine Config onto the per-flow tracker knobs:
+// FlowBudget + Memory take precedence (the unified knob); the legacy
+// ReorderCap maps onto an exact FIFO-capped tracker; the zero config is
+// exact and unbounded.
+func trackerConfig(cfg Config) npsim.TrackerConfig {
+	if cfg.Memory == npsim.MemorySketch || (cfg.FlowBudget > 0 && cfg.Memory == npsim.MemoryAuto) {
+		return npsim.TrackerConfig{FlowBudget: cfg.FlowBudget, Memory: cfg.Memory}
+	}
+	if cfg.FlowBudget > 0 { // MemoryExact: budget is a hard FIFO cap
+		return npsim.TrackerConfig{FlowBudget: cfg.FlowBudget, Memory: npsim.MemoryExact}
+	}
+	if cfg.ReorderCap > 0 {
+		return npsim.TrackerConfig{FlowBudget: cfg.ReorderCap, Memory: npsim.MemoryExact}
+	}
+	return npsim.TrackerConfig{}
+}
+
+// newSharedTracker builds a tracker from a TrackerConfig whose
+// FlowBudget, if any, is split across shards (minimum 1 flow per
+// shard).
+func newSharedTracker(cfg npsim.TrackerConfig) *sharedTracker {
 	s := &sharedTracker{}
-	per := 0
-	if flowCap > 0 {
-		per = (flowCap + reorderShards - 1) / reorderShards
+	per := cfg
+	if cfg.FlowBudget > 0 {
+		per.FlowBudget = (cfg.FlowBudget + reorderShards - 1) / reorderShards
+	}
+	if per.SizeHint <= 0 {
+		// Start each shard small and let it grow to its slice of the
+		// working set: 32 shards at the default 16k-flow pre-size
+		// would burn ~20 MB of tables and miss cache on every record.
+		per.SizeHint = 1 << 7
 	}
 	for i := range s.shards {
-		if per > 0 {
-			s.shards[i].t = npsim.NewReorderTrackerCap(per)
-		} else {
-			// Start each shard small and let it grow to its slice of the
-			// working set: 32 shards at the default 16k-flow pre-size
-			// would burn ~20 MB of tables and miss cache on every record.
-			s.shards[i].t = npsim.NewReorderTrackerSized(1 << 7)
-		}
+		s.shards[i].t = npsim.NewTracker(per)
 	}
 	return s
 }
@@ -95,6 +111,31 @@ func (s *sharedTracker) outOfOrder() uint64 {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		n += sh.t.OutOfOrder()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// estimatedOOO sums sketch-flagged out-of-order departures across
+// shards.
+func (s *sharedTracker) estimatedOOO() uint64 {
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.t.EstimatedOOO()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// budgetHits sums exact→sketch degrade transitions across shards.
+func (s *sharedTracker) budgetHits() uint64 {
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.t.BudgetHits()
 		sh.mu.Unlock()
 	}
 	return n

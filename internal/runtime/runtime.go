@@ -81,9 +81,20 @@ type Config struct {
 	// and throughput/drop/reorder rates on the wall clock into
 	// Result.Series.
 	MetricsInterval time.Duration
-	// ReorderCap bounds the egress reorder tracker's per-flow state;
-	// 0 keeps exact (unbounded) tracking.
+	// ReorderCap bounds the egress reorder tracker's per-flow state by
+	// FIFO eviction; 0 keeps exact (unbounded) tracking. Subsumed by
+	// FlowBudget, which bounds every per-flow structure coherently.
 	ReorderCap int
+	// FlowBudget bounds all per-flow state — reorder watermarks and the
+	// fence table — according to Memory. 0 keeps today's exact
+	// behaviour. Under MemoryAuto the budget is the live-flow count past
+	// which the reorder tracker degrades to a sketch (one-sided OOO
+	// estimates, see npsim.TrackerConfig) and the fence table to
+	// hash-bucket granularity (coarseFence); under MemoryExact it only
+	// tightens the exact bounds (tracker FIFO cap, fence sweep cap).
+	FlowBudget int
+	// Memory selects the bounding strategy past FlowBudget.
+	Memory npsim.MemoryClass
 	// FlowStateCap bounds the dispatcher's per-flow routing table.
 	// When exceeded, entries whose packets have all been retired are
 	// swept. The cap is soft: when a sweep finds (nearly) every entry
@@ -169,8 +180,17 @@ type Result struct {
 	Fenced       uint64 // packets held on their old worker by a fence
 	TrackedFlows int    // flows live in the reorder tracker at stop
 	EvictedFlows uint64 // reorder-tracker watermarks evicted (bounded mode)
-	Elapsed      time.Duration
-	Workers      []WorkerReport
+	// EstimatedOOO is the subset of OutOfOrder flagged by sketch-mode
+	// trackers past the flow budget — one-sided over-estimates (the
+	// sketch never misses a reordering but can over-report on bucket
+	// collisions). 0 on exact runs.
+	EstimatedOOO uint64
+	// FlowBudgetHits counts budget-crossing degrade events: reorder
+	// tracker shards switching exact→sketch plus fence tables switching
+	// to hash-bucket granularity. 0 when the budget was never exceeded.
+	FlowBudgetHits uint64
+	Elapsed        time.Duration
+	Workers        []WorkerReport
 	// Series is non-nil when MetricsInterval was set.
 	Series *stats.Series
 
@@ -219,12 +239,15 @@ type Engine struct {
 	burst   *burstScratch // flow-run grouping state for DispatchBurst
 	occ     []int         // per-worker occupancy cache, valid within one burst (-1 = stale)
 
-	flows     *flowtab.Table[flowState]
-	flowCap   int
-	sweepHold int // new-flow inserts to skip sweeping for (after a futile sweep)
-	tracker   *sharedTracker
-	rec       *obs.Recorder
-	tel       engineTel // zero value when Config.Telemetry is nil: every hist is a nil no-op
+	flows      *flowtab.Table[flowState]
+	flowCap    int
+	sweepHold  int          // new-flow inserts to skip sweeping for (after a futile sweep)
+	coarse     *coarseFence // hash-bucket fencing past the flow budget (nil = exact)
+	budgetable bool         // FlowBudget set and Memory allows degrading
+	budgetHits atomic.Uint64
+	tracker    *sharedTracker
+	rec        *obs.Recorder
+	tel        engineTel // zero value when Config.Telemetry is nil: every hist is a nil no-op
 
 	start    time.Time // runtime clock epoch, stamped at New (pre-Start events need it)
 	runStart time.Time // Start instant, for Elapsed
@@ -303,20 +326,39 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Services == zero {
 		cfg.Services = npsim.DefaultServices()
 	}
+	budgetable := cfg.Memory == npsim.MemorySketch ||
+		(cfg.FlowBudget > 0 && cfg.Memory == npsim.MemoryAuto)
+	flowCap := cfg.FlowStateCap
+	if cfg.FlowBudget > 0 && cfg.FlowBudget < flowCap {
+		// The budget is the tighter bound: exact mode sweeps at it,
+		// auto/sketch degrade to coarse fencing when sweeping cannot
+		// hold the live-flow count under it.
+		flowCap = cfg.FlowBudget
+	}
+	hint := 1 << 14
+	if flowCap < hint {
+		hint = flowCap
+	}
 	e := &Engine{
-		cfg:      cfg,
-		flows:    flowtab.New[flowState](1 << 14),
-		flowCap:  cfg.FlowStateCap,
-		tracker:  newSharedTracker(cfg.ReorderCap),
-		rec:      cfg.Recorder,
-		perWDrop: make([]atomic.Uint64, cfg.Workers),
-		dead:     make([]bool, cfg.Workers),
-		deadPub:  make([]atomic.Bool, cfg.Workers),
+		cfg:        cfg,
+		flows:      flowtab.New[flowState](hint),
+		flowCap:    flowCap,
+		budgetable: budgetable,
+		tracker:    newSharedTracker(trackerConfig(cfg)),
+		rec:        cfg.Recorder,
+		perWDrop:   make([]atomic.Uint64, cfg.Workers),
+		dead:       make([]bool, cfg.Workers),
+		deadPub:    make([]atomic.Bool, cfg.Workers),
 		// The clock epoch is stamped here, not at Start: recorders are
 		// wired to e.Now at construction, and an event emitted before
 		// Start must not be stamped against the zero time (whose
 		// nanosecond distance overflows int64 into garbage).
 		start: time.Now(),
+	}
+	if cfg.Memory == npsim.MemorySketch {
+		// Bounded from the start: new flows fence at bucket granularity
+		// immediately instead of waiting for the budget to be crossed.
+		e.coarse = newCoarseFence(1)
 	}
 	if e.rec != nil {
 		e.rec.SetClock(e.Now)
@@ -493,7 +535,7 @@ func (e *Engine) dispatchResolved(p *packet.Packet, target int) bool {
 			continue
 		}
 		kind := routePlain
-		st, seen := e.flows.Get(p.Flow, h)
+		st, seen, coarse := e.fenceLookup(p.Flow, h)
 		fencedAt, fenceSeq := int64(0), uint64(0)
 		old, want := -1, t
 		if seen {
@@ -559,9 +601,29 @@ func (e *Engine) dispatchResolved(p *packet.Packet, target int) bool {
 				}
 			}
 		}
-		e.rememberFlow(f, h, t, fencedAt)
+		if coarse {
+			e.coarse.put(h, int32(t), e.enqSeq[t], fencedAt)
+		} else {
+			e.rememberFlowSeen(f, h, t, fencedAt, seen)
+		}
 		return true
 	}
+}
+
+// fenceLookup resolves the fence state for a flow: the exact table is
+// authoritative while the flow has an entry there; past the budget,
+// flows without one are fenced at hash-bucket granularity. The third
+// result reports which side the state (and the eventual update) lives
+// on.
+func (e *Engine) fenceLookup(f packet.FlowKey, h uint16) (flowState, bool, bool) {
+	st, seen := e.flows.Get(f, h)
+	if seen || e.coarse == nil {
+		return st, seen, false
+	}
+	if b := e.coarse.ref(h); b.core >= 0 {
+		return *b, true, true
+	}
+	return flowState{}, false, true
 }
 
 // endFence closes a fence span opened at fencedAt (0 = nothing open):
@@ -611,6 +673,17 @@ func (e *Engine) rememberFlowSeen(f packet.FlowKey, h uint16, target int, fenced
 			if swept < e.flowCap/64+1 {
 				e.sweepHold = e.flowCap / 16
 			}
+		}
+		if e.budgetable && e.coarse == nil && e.flows.Len() >= e.flowCap {
+			// Sweeping cannot hold the live-flow count under the budget:
+			// degrade. New flows fence at hash-bucket granularity from
+			// here on; existing exact entries stay authoritative until
+			// they drain (rememberFlowSeen is never called for a flow
+			// without one again — fenceLookup routes those to buckets).
+			e.coarse = newCoarseFence(1)
+			e.budgetHits.Add(1)
+			e.coarse.put(h, int32(target), e.enqSeq[target], fencedAt)
+			return
 		}
 	}
 	e.flows.Put(f, h, flowState{core: int32(target), seq: e.enqSeq[target], fencedAt: fencedAt})
@@ -846,6 +919,9 @@ func (e *Engine) recoverWorker(i int) {
 		e.flows.Sweep(func(_ packet.FlowKey, _ uint16, st flowState) bool {
 			return int(st.core) == i && retired >= st.seq
 		})
+		if e.coarse != nil {
+			e.coarse.sweepDead(int32(i), retired)
+		}
 	}
 	e.reinjected.Add(reinjected)
 	e.recovered.Add(uint64(len(touched)))
@@ -880,7 +956,14 @@ func (e *Engine) reinject(p *packet.Packet, touched map[packet.FlowKey]struct{})
 		if !ok {
 			return false
 		}
-		e.flows.Put(f, h, flowState{core: int32(t), seq: e.enqSeq[t]})
+		if e.coarse != nil && !e.flows.Has(f, h) {
+			// Coarse-fenced flow: re-point its bucket. Rerouting is by
+			// hash and a bucket is one hash value, so every member lands
+			// on the same worker and the bucket fence stays sound.
+			e.coarse.put(h, int32(t), e.enqSeq[t], 0)
+		} else {
+			e.flows.Put(f, h, flowState{core: int32(t), seq: e.enqSeq[t]})
+		}
 		touched[f] = struct{}{}
 		return true
 	}
@@ -944,22 +1027,24 @@ func (e *Engine) Stop() *Result {
 	e.mergeWorkerEvents()
 
 	res := &Result{
-		Dispatched:   e.dispatched.Load(),
-		Dropped:      e.dropped.Load(),
-		Migrations:   e.migrations.Load(),
-		Fenced:       e.fenced.Load(),
-		OutOfOrder:   e.tracker.outOfOrder(),
-		TrackedFlows: e.tracker.flows(),
-		EvictedFlows: e.tracker.evicted(),
-		Elapsed:      elapsed,
-		WorkerStalls: e.stalls.Load(),
-		WorkerDeaths: e.deaths.Load(),
-		Reinjected:   e.reinjected.Load(),
-		Recovered:    e.recovered.Load(),
-		Forced:       e.forced.Load(),
-		Stranded:     e.stranded,
-		MaxDetect:    time.Duration(e.maxDetect.Load()),
-		MaxFenceHold: time.Duration(e.maxFenceHold.Load()),
+		Dispatched:     e.dispatched.Load(),
+		Dropped:        e.dropped.Load(),
+		Migrations:     e.migrations.Load(),
+		Fenced:         e.fenced.Load(),
+		OutOfOrder:     e.tracker.outOfOrder(),
+		TrackedFlows:   e.tracker.flows(),
+		EvictedFlows:   e.tracker.evicted(),
+		EstimatedOOO:   e.tracker.estimatedOOO(),
+		FlowBudgetHits: e.tracker.budgetHits() + e.budgetHits.Load(),
+		Elapsed:        elapsed,
+		WorkerStalls:   e.stalls.Load(),
+		WorkerDeaths:   e.deaths.Load(),
+		Reinjected:     e.reinjected.Load(),
+		Recovered:      e.recovered.Load(),
+		Forced:         e.forced.Load(),
+		Stranded:       e.stranded,
+		MaxDetect:      time.Duration(e.maxDetect.Load()),
+		MaxFenceHold:   time.Duration(e.maxFenceHold.Load()),
 	}
 	for i, w := range e.workers {
 		res.Processed += w.processed.Load()

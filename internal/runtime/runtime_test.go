@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	stdrt "runtime"
 	"testing"
 	"time"
 
@@ -35,6 +36,14 @@ func (f *flapSched) Target(p *packet.Packet, _ npsim.View) int {
 	return (int(crc.FlowHash(p.Flow)) + f.count/f.period) % f.n
 }
 
+// feedYield bounds how long a feed loop runs between scheduler yields.
+// On a single-CPU host a tight dispatch loop can otherwise monopolize
+// the processor until preemption, filling every ring before a worker
+// gets a slice — in drop mode that starves the migration/fence paths
+// the storm tests exist to exercise (a migration is only counted when
+// the migrated push lands, so a fully-saturated run can report zero).
+const feedYield = 64
+
 // feed generates n packets over the given services with correct
 // per-flow sequence numbers, dispatching each one.
 func feed(tb testing.TB, e *Engine, n int, services int, seed uint64) {
@@ -59,6 +68,9 @@ func feed(tb testing.TB, e *Engine, n int, services int, seed uint64) {
 		}
 		seqs[rec.Flow]++
 		e.Dispatch(p)
+		if i%feedYield == feedYield-1 {
+			stdrt.Gosched()
+		}
 	}
 }
 

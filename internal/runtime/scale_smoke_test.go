@@ -1,0 +1,98 @@
+package runtime
+
+import (
+	"context"
+	stdrt "runtime"
+	"testing"
+
+	"laps/internal/npsim"
+	"laps/internal/packet"
+	"laps/internal/traffic"
+)
+
+// TestScaleSmokeMillionFlowChurn is the scale acceptance smoke (CI job
+// scale-smoke): over a million distinct short flows stream through the
+// engine under a FlowBudget with MemorySketch, and the assertions are
+// the two halves of the budget contract — per-flow state must not grow
+// with the distinct-flow count (heap delta bounded), and the sketch's
+// estimated-OOO must stay within the documented false-positive bound
+// for the configuration (docs/SCALE.md). The hash scheduler never
+// migrates, so every flagged departure is a sketch false positive and
+// the measured rate *is* the FP rate.
+func TestScaleSmokeMillionFlowChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-packet run")
+	}
+	src := traffic.NewChurn(traffic.ChurnConfig{
+		Name:        "scale-smoke",
+		Concurrent:  1 << 14,
+		MeanPackets: 3,
+		Seed:        1,
+	})
+
+	var before, after stdrt.MemStats
+	stdrt.GC()
+	stdrt.ReadMemStats(&before)
+
+	e, err := New(Config{
+		Workers:    4,
+		RingCap:    256,
+		Batch:      32,
+		Sched:      hashSched{n: 4},
+		Policy:     BlockWhenFull,
+		FlowBudget: 1 << 16,
+		Memory:     npsim.MemorySketch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(context.Background())
+	const total = 3_500_000
+	for i := 0; i < total; i++ {
+		rec, seq, _ := src.NextSeq()
+		e.Dispatch(&packet.Packet{
+			ID:      uint64(i + 1),
+			Flow:    rec.Flow,
+			Service: packet.ServiceID(i & 3),
+			Size:    rec.Size,
+			Arrival: e.Now(),
+			FlowSeq: seq,
+		})
+	}
+	res := e.Stop()
+
+	stdrt.GC()
+	stdrt.ReadMemStats(&after)
+
+	if res.Processed+res.Dropped != res.Dispatched {
+		t.Fatalf("conservation violated: %d+%d != %d", res.Processed, res.Dropped, res.Dispatched)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("block-mode smoke dropped %d packets", res.Dropped)
+	}
+	if src.Started() < 1_000_000 {
+		t.Fatalf("churn visited only %d distinct flows, want >= 1e6", src.Started())
+	}
+	// Retained-heap growth: sketches (~6 MB at this budget) plus the
+	// budget-capped fence/affinity tables. Exact mode retains one
+	// watermark + one fence entry per distinct flow — well over 50 MB
+	// for this run — so the 48 MB ceiling separates the regimes with
+	// margin on both sides.
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if growth > 48<<20 {
+		t.Fatalf("heap grew %d MB over a budgeted run, want < 48 MB", growth>>20)
+	}
+	if res.EstimatedOOO != res.OutOfOrder {
+		t.Fatalf("MemorySketch run: EstimatedOOO=%d OutOfOrder=%d, want equal", res.EstimatedOOO, res.OutOfOrder)
+	}
+	// No migrations happen, so OutOfOrder is pure sketch false
+	// positives; the documented ceiling for this width/churn rate is
+	// 10% of departures.
+	if limit := res.Processed / 10; res.OutOfOrder > limit {
+		t.Fatalf("estimated OOO %d exceeds the 10%% FP bound (%d of %d processed)",
+			res.OutOfOrder, limit, res.Processed)
+	}
+	t.Logf("scale-smoke: flows=%d processed=%d heap-growth=%dMB estimated-ooo=%d (%.2f%%)",
+		src.Started(), res.Processed, growth>>20, res.OutOfOrder,
+		100*float64(res.OutOfOrder)/float64(res.Processed))
+}

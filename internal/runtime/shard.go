@@ -143,11 +143,16 @@ type shard struct {
 	flows    *flowtab.Table[flowState]
 	flowCap  int
 	sweepHld int
-	lastView *dataPlaneView
-	reaped   []bool // workers whose ring this shard has already drained
-	rec      *obs.Recorder
-	burst    *burstScratch // flow-run grouping state for the batch resolve
-	occ      []int         // per-worker occupancy cache, valid within one burst (-1 = stale)
+	// Hash-bucket fencing past the flow budget (nil = exact). One
+	// bucket per hash value this shard serves (h/nshards is a bijection
+	// within the shard), shard-goroutine-only like flows.
+	coarse     *coarseFence
+	budgetable bool
+	lastView   *dataPlaneView
+	reaped     []bool // workers whose ring this shard has already drained
+	rec        *obs.Recorder
+	burst      *burstScratch // flow-run grouping state for the batch resolve
+	occ        []int         // per-worker occupancy cache, valid within one burst (-1 = stale)
 
 	sampleEvery int
 	obsSkip     int
@@ -159,6 +164,7 @@ type shard struct {
 	reinjected      atomic.Uint64
 	recovered       atomic.Uint64
 	feedbackDropped atomic.Uint64
+	budgetHits      atomic.Uint64
 }
 
 // NewSharded validates cfg and builds the sharded engine (nothing
@@ -210,10 +216,12 @@ func NewSharded(cfg Config) (*Sharded, error) {
 		cfg.Services = npsim.DefaultServices()
 	}
 	n := cfg.Dispatchers
+	budgetable := cfg.Memory == npsim.MemorySketch ||
+		(cfg.FlowBudget > 0 && cfg.Memory == npsim.MemoryAuto)
 	e := &Sharded{
 		cfg:      cfg,
 		sp:       sp,
-		tracker:  newSharedTracker(cfg.ReorderCap),
+		tracker:  newSharedTracker(trackerConfig(cfg)),
 		rec:      cfg.Recorder,
 		perWDrop: make([]atomic.Uint64, cfg.Workers),
 		health:   make([]workerHealth, cfg.Workers),
@@ -256,18 +264,32 @@ func NewSharded(cfg Config) (*Sharded, error) {
 		e.workers = append(e.workers, w)
 		e.liveIdx = append(e.liveIdx, i)
 	}
+	shardCap := cfg.FlowStateCap/n + 1
+	if cfg.FlowBudget > 0 && cfg.FlowBudget/n+1 < shardCap {
+		// The budget is the tighter bound, split across shards like the
+		// flow-state cap.
+		shardCap = cfg.FlowBudget/n + 1
+	}
+	shardHint := 1 << 12
+	if shardCap < shardHint {
+		shardHint = shardCap
+	}
 	for s := 0; s < n; s++ {
 		sh := &shard{
 			id:          s,
 			e:           e,
 			in:          NewRing(cfg.IngressCap),
 			enqSeq:      make([]uint64, cfg.Workers),
-			flows:       flowtab.New[flowState](1 << 12),
-			flowCap:     cfg.FlowStateCap/n + 1,
+			flows:       flowtab.New[flowState](shardHint),
+			flowCap:     shardCap,
+			budgetable:  budgetable,
 			reaped:      make([]bool, cfg.Workers),
 			sampleEvery: cfg.SampleEvery,
 			burst:       newBurstScratch(),
 			occ:         make([]int, cfg.Workers),
+		}
+		if cfg.Memory == npsim.MemorySketch {
+			sh.coarse = newCoarseFence(n)
 		}
 		for w := 0; w < cfg.Workers; w++ {
 			sh.staged = append(sh.staged, make([]*packet.Packet, 0, cfg.Batch))
@@ -500,7 +522,7 @@ func (s *shard) dispatchResolved(p *packet.Packet) {
 			continue
 		}
 		kind := routePlain
-		st, seen := s.flows.Get(p.Flow, h)
+		st, seen, coarse := s.fenceLookup(p.Flow, h)
 		fencedAt, fenceSeq := int64(0), uint64(0)
 		old, want := -1, t
 		if seen {
@@ -561,9 +583,29 @@ func (s *shard) dispatchResolved(p *packet.Packet) {
 				}
 			}
 		}
-		s.rememberFlow(f, h, t, fencedAt)
+		if coarse {
+			s.coarse.put(h, int32(t), s.enqSeq[t], fencedAt)
+		} else {
+			s.rememberFlowSeen(f, h, t, fencedAt, seen)
+		}
 		return
 	}
+}
+
+// fenceLookup resolves the fence state for a flow: the exact table is
+// authoritative while an entry exists (flows fenced before the budget
+// hit keep exact routing until they drain); otherwise the hash bucket
+// answers once coarse fencing is active. The third result reports which
+// regime the flow is in, so the caller writes back to the same place.
+func (s *shard) fenceLookup(f packet.FlowKey, h uint16) (flowState, bool, bool) {
+	st, seen := s.flows.Get(f, h)
+	if seen || s.coarse == nil {
+		return st, seen, false
+	}
+	if b := s.coarse.ref(h); b.core >= 0 {
+		return *b, true, true
+	}
+	return flowState{}, false, true
 }
 
 // endFence closes a fence span opened at fencedAt (0 = nothing open),
@@ -680,6 +722,9 @@ func (s *shard) onViewChange(v *dataPlaneView) {
 		s.flows.Sweep(func(_ packet.FlowKey, _ uint16, st flowState) bool {
 			return int(st.core) == w && retired >= st.seq
 		})
+		if s.coarse != nil {
+			s.coarse.sweepDead(int32(w), retired)
+		}
 		s.reinjected.Add(reinjected)
 		s.recovered.Add(uint64(len(touched)))
 		dur := int64(s.e.Now() - t0)
@@ -715,7 +760,15 @@ func (s *shard) reinject(p *packet.Packet, touched map[packet.FlowKey]struct{}) 
 		if !ok {
 			return false
 		}
-		s.flows.Put(f, h, flowState{core: int32(t), seq: s.enqSeq[t]})
+		if s.coarse != nil && !s.flows.Has(f, h) {
+			// Coarse-fenced flow: re-point its bucket. Rerouting is by
+			// hash and a bucket is one hash value within this shard, so
+			// every member lands on the same worker and the bucket fence
+			// stays sound.
+			s.coarse.put(h, int32(t), s.enqSeq[t], 0)
+		} else {
+			s.flows.Put(f, h, flowState{core: int32(t), seq: s.enqSeq[t]})
+		}
 		touched[f] = struct{}{}
 		return true
 	}
@@ -814,6 +867,17 @@ func (s *shard) rememberFlowSeen(f packet.FlowKey, h uint16, target int, fencedA
 			if swept < s.flowCap/64+1 {
 				s.sweepHld = s.flowCap / 16
 			}
+		}
+		if s.budgetable && s.coarse == nil && s.flows.Len() >= s.flowCap {
+			// Sweeping cannot hold the live-flow count under the budget:
+			// degrade. New flows fence at hash-bucket granularity from
+			// here on; existing exact entries stay authoritative until
+			// they drain (rememberFlowSeen is never called for a flow
+			// without one again — fenceLookup routes those to buckets).
+			s.coarse = newCoarseFence(len(s.e.shards))
+			s.budgetHits.Add(1)
+			s.coarse.put(h, int32(target), s.enqSeq[target], fencedAt)
+			return
 		}
 	}
 	s.flows.Put(f, h, flowState{core: int32(target), seq: s.enqSeq[target], fencedAt: fencedAt})
@@ -1016,6 +1080,8 @@ func (e *Sharded) Stop() *Result {
 		Dispatched:           e.dispatched.Load(),
 		Dropped:              e.ingressDrops.Load() + stranded,
 		OutOfOrder:           e.tracker.outOfOrder(),
+		EstimatedOOO:         e.tracker.estimatedOOO(),
+		FlowBudgetHits:       e.tracker.budgetHits(),
 		TrackedFlows:         e.tracker.flows(),
 		EvictedFlows:         e.tracker.evicted(),
 		Elapsed:              elapsed,
@@ -1034,6 +1100,7 @@ func (e *Sharded) Stop() *Result {
 		res.Fenced += sh.fenced.Load()
 		res.Forced += sh.forced.Load()
 		res.Reinjected += sh.reinjected.Load()
+		res.FlowBudgetHits += sh.budgetHits.Load()
 		res.Recovered += sh.recovered.Load()
 		res.FeedbackDropped += sh.feedbackDropped.Load()
 	}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	stdrt "runtime"
 	"sync"
 	"testing"
 	"time"
@@ -79,6 +80,9 @@ func feedSharded(tb testing.TB, e *Sharded, n int, services int, seed uint64) {
 		}
 		seqs[rec.Flow]++
 		e.Ingest(p)
+		if i%feedYield == feedYield-1 {
+			stdrt.Gosched()
+		}
 	}
 }
 

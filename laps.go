@@ -89,6 +89,12 @@ type (
 
 	// RateParams are the Holt-Winters traffic coefficients (eq. 1).
 	RateParams = traffic.RateParams
+	// ChurnConfig parameterises a flow-churn trace source: a bounded
+	// live population of short flows with unbounded distinct-flow count
+	// (the FlowBudget stress family; see docs/SCALE.md).
+	ChurnConfig = traffic.ChurnConfig
+	// LifetimeDist selects a churn source's flow-lifetime distribution.
+	LifetimeDist = traffic.LifetimeDist
 
 	// CoreReport is one core's activity snapshot (busy time, idle
 	// intervals) for energy and balance analysis.
@@ -131,7 +137,26 @@ type (
 	MetricsSnapshot = telemetry.HistSnapshot
 	// WorkerHealth is one worker's liveness as reported by /healthz.
 	WorkerHealth = telemetry.WorkerState
+
+	// MemoryClass selects how flow state behaves past
+	// StackConfig.FlowBudget: exact, sketch-bounded, or auto-degrading.
+	MemoryClass = npsim.MemoryClass
 )
+
+// Flow-state memory regimes for StackConfig.Memory (docs/SCALE.md).
+const (
+	// MemoryAuto (the zero value) starts exact and degrades to bounded
+	// sketch/hash-bucket state when live flows exceed FlowBudget.
+	MemoryAuto = npsim.MemoryAuto
+	// MemoryExact never degrades; FlowBudget becomes a hard cap on
+	// concurrently tracked flows (oldest evicted first).
+	MemoryExact = npsim.MemoryExact
+	// MemorySketch uses bounded structures from the start.
+	MemorySketch = npsim.MemorySketch
+)
+
+// ParseMemoryClass parses "auto", "exact" or "sketch" (CLI flags).
+func ParseMemoryClass(s string) (MemoryClass, error) { return npsim.ParseMemoryClass(s) }
 
 // Telemetry event kinds (see docs/OBSERVABILITY.md).
 const (
@@ -215,6 +240,24 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler { return core.New(cfg) }
 // NewTrace builds a synthetic trace source.
 func NewTrace(cfg TraceConfig) TraceSource { return trace.NewSynthetic(cfg) }
 
+// Flow-lifetime distributions for ChurnConfig.Lifetime.
+const (
+	LifetimeGeometric = traffic.LifetimeGeometric
+	LifetimePareto    = traffic.LifetimePareto
+	LifetimeFixed     = traffic.LifetimeFixed
+)
+
+// NewChurnTrace builds a flow-churn trace source: every packet belongs
+// to one of ChurnConfig.Concurrent live flows, and finished flows are
+// replaced by brand-new ones, so a long run visits far more distinct
+// flows than are ever live. Pair it with StackConfig.FlowBudget to
+// exercise the bounded-memory path (docs/SCALE.md).
+func NewChurnTrace(cfg ChurnConfig) TraceSource { return traffic.NewChurn(cfg) }
+
+// ChurnTrace returns the i-th million-flow churn preset (the
+// BENCH_scale.json workload).
+func ChurnTrace(i int) TraceSource { return traffic.MillionFlowChurn(i) }
+
 // CAIDATrace returns the i-th CAIDA-like synthetic trace preset.
 func CAIDATrace(i int) TraceSource { return trace.CAIDALike(i) }
 
@@ -297,6 +340,17 @@ type StackConfig struct {
 	// Seed drives all randomness (arrivals and the scheduler's AFD);
 	// 0 means 1.
 	Seed uint64
+	// FlowBudget bounds how many flows may hold exact per-flow state
+	// (reorder watermarks, fence records, affinity entries) at once; 0
+	// means unbounded. What happens past the budget is Memory's call.
+	// See docs/SCALE.md.
+	FlowBudget int
+	// Memory selects the flow-state regime: MemoryAuto (the zero value)
+	// keeps exact state and degrades to sketch/hash-bucket state only
+	// when FlowBudget is exceeded; MemoryExact never degrades (the
+	// budget becomes a hard cap on tracked flows); MemorySketch runs
+	// bounded from the start. See docs/SCALE.md for the accuracy bounds.
+	Memory MemoryClass
 }
 
 // SimConfig describes a custom simulation for Simulate. The embedded
@@ -346,13 +400,6 @@ type SimResult struct {
 	// telemetry time series (WriteCSV renders it).
 	Series *Series
 }
-
-// Result is the former name of SimResult.
-//
-// Deprecated: use SimResult. The alias resolves the historical
-// collision between this type, RunResult and RunStats (three unrelated
-// "result" names); it will be removed in a future release.
-type Result = SimResult
 
 // RestoredOrder reports what egress order restoration cost and achieved.
 type RestoredOrder struct {
@@ -457,6 +504,8 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	if cfg.QueueCap > 0 {
 		sysCfg.QueueCap = cfg.QueueCap
 	}
+	sysCfg.FlowBudget = cfg.FlowBudget
+	sysCfg.Memory = cfg.Memory
 
 	services, active, err := trafficProfile(cfg.Traffic)
 	if err != nil {
@@ -487,7 +536,9 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	var tracker *npsim.ReorderTracker
 	var buf *rob.Buffer
 	if cfg.RestoreOrder {
-		tracker = npsim.NewReorderTracker()
+		tracker = npsim.NewTracker(npsim.TrackerConfig{
+			FlowBudget: cfg.FlowBudget, Memory: cfg.Memory,
+		})
 		buf = rob.New(eng, rob.Config{}, func(p *packet.Packet) { tracker.Record(p) })
 		sys.OnDepart = buf.Push
 	}

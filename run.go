@@ -30,12 +30,6 @@ type (
 	// EngineStats are the live engine's end-of-run counters (both the
 	// single-dispatcher engine and the sharded data plane produce them).
 	EngineStats = rt.Result
-	// RunStats is the former name of EngineStats.
-	//
-	// Deprecated: use EngineStats. The alias resolves the historical
-	// collision between this type, RunResult and the simulator's
-	// SimResult; it will be removed in a future release.
-	RunStats = rt.Result
 	// WorkerReport is one live worker's accounting.
 	WorkerReport = rt.WorkerReport
 	// FaultPlan schedules deterministic worker faults (stall / slow /
@@ -133,7 +127,7 @@ type RunConfig struct {
 	// departures — stamped with the runtime clock (ns since start).
 	Trace *Recorder
 	// MetricsInterval, when positive, samples per-worker queue depths
-	// and rates on the wall clock into RunStats.Series.
+	// and rates on the wall clock into EngineStats.Series.
 	MetricsInterval time.Duration
 	// ReorderCap bounds the egress reorder tracker's per-flow state;
 	// 0 keeps exact tracking.
@@ -285,6 +279,8 @@ func liveConfig(cfg RunConfig, workers int, scheduler npsim.Scheduler, policy rt
 		Recorder:        cfg.Trace,
 		MetricsInterval: cfg.MetricsInterval,
 		ReorderCap:      cfg.ReorderCap,
+		FlowBudget:      cfg.FlowBudget,
+		Memory:          cfg.Memory,
 		Faults:          cfg.Faults,
 		DetectWindow:    cfg.DetectWindow,
 	}

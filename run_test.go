@@ -80,7 +80,7 @@ func TestRunLiveTelemetry(t *testing.T) {
 
 // TestRunLiveWithFaults drives fault injection through the public API:
 // a stall past the window plus a kill, under backpressure — nothing may
-// drop or reorder, and the recovery counters must surface in RunStats.
+// drop or reorder, and the recovery counters must surface in EngineStats.
 func TestRunLiveWithFaults(t *testing.T) {
 	res, err := laps.Run(laps.RunConfig{
 		StackConfig: laps.StackConfig{
