@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"laps"
+	"laps/internal/ingress"
 	"laps/internal/sim"
 	"laps/internal/version"
 )
@@ -38,7 +39,10 @@ var (
 	disp       = flag.Int("dispatchers", 0, "ingress dispatcher shards (0 = classic single dispatcher)")
 	ringCap    = flag.Int("ring", 0, "per-worker SPSC ring capacity (0 = default 256)")
 	batch      = flag.Int("batch", 0, "dispatch/consume batch size (0 = default 32)")
+	sockets    = flag.Int("sockets", 1, "SO_REUSEPORT sockets (and reader goroutines) on -listen; >1 needs Linux, elsewhere falls back to one socket")
 	rxBatch    = flag.Int("rx-batch", 0, "datagrams per receive batch — the recvmmsg vector length on Linux (0 = default 32)")
+	rxAdapt    = flag.Bool("rx-adapt", true, "adapt the receive-vector length to the observed batch fill (Linux recvmmsg path)")
+	rxMax      = flag.Int("rx-max", 0, "adaptive receive-vector ceiling (0 = default 256)")
 	rcvbuf     = flag.Int("rcvbuf", 4<<20, "socket receive buffer request in bytes (kernel clamps to net.core.rmem_max; 0 leaves the default)")
 	drop       = flag.Bool("drop", false, "drop packets when a worker ring is full instead of applying backpressure")
 	duration   = flag.Duration("duration", 0, "wall-clock run length (0 = run until SIGINT/SIGTERM)")
@@ -63,18 +67,32 @@ func main() {
 }
 
 func run() error {
-	// Bind both sockets up front so their real addresses (":0" picks a
-	// port) are printed before traffic is expected, not after the run.
-	conn, err := net.ListenPacket("udp", *listen)
+	if *sockets < 1 {
+		return fmt.Errorf("-sockets must be >= 1 (got %d)", *sockets)
+	}
+	// Bind the ingress group and the admin socket up front so their real
+	// addresses (":0" picks a port) are printed before traffic is
+	// expected, not after the run. ListenGroup sets SO_REUSEPORT on every
+	// socket when more than one is asked for — a plain pre-bound conn
+	// could not be joined later.
+	conns, reuse, err := ingress.ListenGroup(*listen, *sockets)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("lapsd: listening on udp %s (workers=%d scheduler=%s dispatchers=%d)\n",
-		conn.LocalAddr(), *workers, *sched, *disp)
+	closeConns := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	if *sockets > 1 && !reuse {
+		fmt.Printf("lapsd: SO_REUSEPORT unavailable on this platform; falling back to 1 socket\n")
+	}
+	fmt.Printf("lapsd: listening on udp %s (sockets=%d workers=%d scheduler=%s dispatchers=%d)\n",
+		conns[0].LocalAddr(), len(conns), *workers, *sched, *disp)
 
 	mem, err := laps.ParseMemoryClass(*memoryMode)
 	if err != nil {
-		conn.Close()
+		closeConns()
 		return err
 	}
 	cfg := laps.RunConfig{
@@ -92,16 +110,18 @@ func run() error {
 		Recycle:      true,
 		DetectWindow: *detect,
 		Ingress: &laps.IngressConfig{
-			Conn:       conn,
-			Batch:      *rxBatch,
-			ReadBuffer: *rcvbuf,
-			DrainGrace: *drainGrace,
+			Conns:         conns,
+			Batch:         *rxBatch,
+			AdaptiveBatch: *rxAdapt,
+			MaxBatch:      *rxMax,
+			ReadBuffer:    *rcvbuf,
+			DrainGrace:    *drainGrace,
 		},
 	}
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
-			conn.Close()
+			closeConns()
 			return err
 		}
 		cfg.HTTPListener = ln
@@ -120,8 +140,15 @@ func run() error {
 	// One summary line per subsystem, key=value so scripts can assert on
 	// loss and ordering without scraping /metrics.
 	in, l := res.Ingress, res.Live
-	fmt.Printf("lapsd: ingress datagrams=%d packets=%d malformed=%d\n",
-		in.Datagrams, in.Packets, in.Malformed)
+	fmt.Printf("lapsd: ingress datagrams=%d packets=%d malformed=%d sockets=%d rcvbuf=%d vector=%d grows=%d shrinks=%d\n",
+		in.Datagrams, in.Packets, in.Malformed,
+		len(res.IngressSockets), in.RcvBuf, in.VectorLen, in.BatchGrows, in.BatchShrinks)
+	if len(res.IngressSockets) > 1 {
+		for i, s := range res.IngressSockets {
+			fmt.Printf("lapsd: socket %d datagrams=%d packets=%d vector=%d\n",
+				i, s.Datagrams, s.Packets, s.VectorLen)
+		}
+	}
 	fmt.Printf("lapsd: engine processed=%d dropped=%d ooo=%d migrations=%d fenced=%d wall=%v throughput=%.0f pps\n",
 		l.Processed, l.Dropped, l.OutOfOrder, l.Migrations, l.Fenced,
 		l.Elapsed.Round(time.Millisecond), float64(l.Processed)/l.Elapsed.Seconds())

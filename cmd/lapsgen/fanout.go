@@ -1,0 +1,104 @@
+package main
+
+import (
+	"net"
+
+	"laps/internal/crc"
+	"laps/internal/ingress"
+	"laps/internal/packet"
+)
+
+// fanout spreads the generated stream across N connected UDP sockets,
+// one Sender per socket, routing each flow to a fixed socket by the
+// same CRC16 hash the receiver's dispatcher uses. The pinning is what
+// makes multi-connection load a valid ordering probe: a flow's records
+// all leave on one socket (so its Sender-assigned sequence numbers
+// leave in order), and on a REUSEPORT receiver one source socket is one
+// 4-tuple, which the kernel hashes to exactly one listener — per-flow
+// FIFO holds end to end. Spreading a flow round-robin instead would
+// manufacture reordering the engine never caused.
+type fanout struct {
+	conns   []net.Conn
+	senders []*ingress.Sender
+}
+
+// dialFanout opens n connected sockets to target. Each gets its own
+// ephemeral source port, so a REUSEPORT receiver sees n distinct
+// 4-tuples to hash across its sockets.
+func dialFanout(target string, n, dgramBatch int) (*fanout, error) {
+	f := &fanout{
+		conns:   make([]net.Conn, 0, n),
+		senders: make([]*ingress.Sender, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		c, err := net.Dial("udp", target)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.conns = append(f.conns, c)
+		f.senders = append(f.senders, ingress.NewSender(c, dgramBatch))
+	}
+	return f, nil
+}
+
+// pick routes a flow to its fixed sender.
+func (f *fanout) pick(flow packet.FlowKey) *ingress.Sender {
+	if len(f.senders) == 1 {
+		return f.senders[0]
+	}
+	return f.senders[int(crc.FlowHash(flow))%len(f.senders)]
+}
+
+// Send queues one packet on the flow's socket, assigning its next
+// per-flow sequence number there (each flow lives in exactly one
+// sender's table, so the numbering is globally consistent).
+func (f *fanout) Send(flow packet.FlowKey, svc packet.ServiceID, size int) error {
+	return f.pick(flow).Send(flow, svc, size)
+}
+
+// Flush writes every socket's pending datagram; the first error wins
+// but every socket is still flushed.
+func (f *fanout) Flush() error {
+	var first error
+	for _, s := range f.senders {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (f *fanout) Close() {
+	for _, c := range f.conns {
+		c.Close() //nolint:errcheck // shutdown path
+	}
+}
+
+// Sent, Datagrams and Flows sum across sockets; Flows is exact because
+// flow→socket pinning means no flow is counted twice.
+func (f *fanout) Sent() uint64 {
+	var n uint64
+	for _, s := range f.senders {
+		n += s.Sent()
+	}
+	return n
+}
+
+func (f *fanout) Datagrams() uint64 {
+	var n uint64
+	for _, s := range f.senders {
+		n += s.Datagrams()
+	}
+	return n
+}
+
+func (f *fanout) Flows() int {
+	n := 0
+	for _, s := range f.senders {
+		n += s.Flows()
+	}
+	return n
+}
+
+func (f *fanout) Conns() int { return len(f.conns) }

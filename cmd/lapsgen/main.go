@@ -19,13 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"math/rand/v2"
-	"net"
 	"os"
 	"time"
 
 	"laps"
 	"laps/internal/exp"
-	"laps/internal/ingress"
 	"laps/internal/packet"
 	"laps/internal/trace"
 	"laps/internal/version"
@@ -38,6 +36,7 @@ var (
 	scenario   = flag.String("scenario", "", "send a Table VI scenario's trace mixture (T1..T8) instead of synthetic flows")
 	pcapPath   = flag.String("pcap", "", "replay this pcap capture (looped) instead of synthetic flows")
 	pps        = flag.Float64("pps", 0, "pace the stream to this many packets per second (0 = flat out)")
+	conns      = flag.Int("conns", 1, "source sockets; flows pin to a socket by the dispatcher's CRC16 hash, so a REUSEPORT receiver sees that many 4-tuples")
 	dgramBatch = flag.Int("dgram-batch", 32, "records per datagram (1..255; 32 ≈ 644-byte datagrams)")
 	seed       = flag.Uint64("seed", 1, "synthetic flow-population seed")
 	showVer    = flag.Bool("version", false, "print version and exit")
@@ -68,17 +67,18 @@ func run() error {
 	if *count <= 0 {
 		return fmt.Errorf("-count must be positive, got %d", *count)
 	}
+	if *conns < 1 {
+		return fmt.Errorf("-conns must be >= 1, got %d", *conns)
+	}
 	src, err := headerSource()
 	if err != nil {
 		return err
 	}
-	conn, err := net.Dial("udp", *target)
+	s, err := dialFanout(*target, *conns, *dgramBatch)
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
-
-	s := ingress.NewSender(conn, *dgramBatch)
+	defer s.Close()
 	start := time.Now()
 	for i := 0; i < *count; i++ {
 		flow, svc, size := src(i)
@@ -101,8 +101,8 @@ func run() error {
 		return err
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("lapsgen: sent=%d flows=%d datagrams=%d elapsed=%v pps=%.0f\n",
-		s.Sent(), s.Flows(), s.Datagrams(), elapsed.Round(time.Millisecond),
+	fmt.Printf("lapsgen: sent=%d flows=%d datagrams=%d conns=%d elapsed=%v pps=%.0f\n",
+		s.Sent(), s.Flows(), s.Datagrams(), s.Conns(), elapsed.Round(time.Millisecond),
 		float64(s.Sent())/elapsed.Seconds())
 	return nil
 }

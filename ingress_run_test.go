@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"laps"
+	"laps/internal/crc"
 	"laps/internal/ingress"
 )
 
@@ -170,6 +171,136 @@ func TestRunIngressDuration(t *testing.T) {
 	}
 }
 
+// TestRunIngressMultiSocket is the parallel-ingress end-to-end bar: a
+// pre-bound REUSEPORT group (the lapsd shape), multiple source sockets
+// with flows pinned to a socket by the dispatcher hash (the lapsgen
+// -conns shape), and the same absolute acceptance as the single-socket
+// run — every packet processed, zero malformed, zero out-of-order.
+func TestRunIngressMultiSocket(t *testing.T) {
+	const (
+		sockets = 4
+		writers = 8
+		flows   = 512
+		perFlow = 100
+		total   = flows * perFlow
+	)
+	conns, reuse, err := ingress.ListenGroup("127.0.0.1:0", sockets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reuse {
+		for _, c := range conns {
+			c.Close()
+		}
+		t.Skip("SO_REUSEPORT unavailable on this platform")
+	}
+	addr := conns[0].LocalAddr().(*net.UDPAddr)
+
+	reg := laps.NewMetricsRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan *laps.RunResult, 1)
+	fail := make(chan error, 1)
+	go func() {
+		res, err := laps.Run(laps.RunConfig{
+			Workers: 4,
+			Block:   true,
+			Recycle: true,
+			Metrics: reg,
+			Context: ctx,
+			Ingress: &laps.IngressConfig{
+				Conns:         conns,
+				AdaptiveBatch: true,
+				ReadBuffer:    4 << 20,
+			},
+		})
+		if err != nil {
+			fail <- err
+			return
+		}
+		done <- res
+	}()
+
+	senders := make([]*ingress.Sender, writers)
+	for i := range senders {
+		w, err := net.DialUDP("udp", nil, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		senders[i] = ingress.NewSender(w, 32)
+	}
+	for i := 0; i < total; i++ {
+		f := i % flows
+		flow := laps.FlowKey{SrcIP: uint32(0x0a000000 + f), DstIP: 0x0a0000fe, SrcPort: uint16(f), DstPort: 4041, Proto: 17}
+		s := senders[int(crc.FlowHash(flow))%writers]
+		if err := s.Send(flow, laps.ServiceID(f%4), 64); err != nil {
+			t.Fatal(err)
+		}
+		if i%2048 == 0 {
+			time.Sleep(time.Millisecond) // pace inside the kernel receive buffers
+		}
+	}
+	for _, s := range senders {
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if n, ok := reg.Snapshot()["laps_processed_total"].(uint64); ok && n >= total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d packets to retire (processed=%v)",
+				total, reg.Snapshot()["laps_processed_total"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+
+	var res *laps.RunResult
+	select {
+	case res = <-done:
+	case err := <-fail:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop after context cancellation")
+	}
+
+	if res.Ingress.Packets != total || res.Ingress.Malformed != 0 {
+		t.Fatalf("ingress decoded %d packets (%d malformed), want %d/0",
+			res.Ingress.Packets, res.Ingress.Malformed, total)
+	}
+	if res.Live.Processed != total || res.Live.Dropped != 0 || res.Live.OutOfOrder != 0 {
+		t.Fatalf("processed=%d dropped=%d ooo=%d, want %d/0/0",
+			res.Live.Processed, res.Live.Dropped, res.Live.OutOfOrder, total)
+	}
+	if len(res.IngressSockets) != sockets {
+		t.Fatalf("IngressSockets has %d entries, want %d", len(res.IngressSockets), sockets)
+	}
+	var sum uint64
+	busy := 0
+	for _, s := range res.IngressSockets {
+		sum += s.Packets
+		if s.Datagrams > 0 {
+			busy++
+		}
+	}
+	if sum != total {
+		t.Fatalf("per-socket packets sum to %d, want %d", sum, total)
+	}
+	if busy < 2 {
+		t.Fatalf("only %d of %d sockets saw traffic; REUSEPORT fan-out not happening", busy, sockets)
+	}
+}
+
+// fakeConn satisfies net.PacketConn for validation-path cases; Run
+// rejects those configs before any conn method is called.
+type fakeConn struct{ net.PacketConn }
+
 // TestRunIngressValidation pins the config-time errors: the mutual
 // exclusions, the termination requirement, and the Pace domain check
 // (which applies to generator runs too).
@@ -191,6 +322,18 @@ func TestRunIngressValidation(t *testing.T) {
 			Context: context.Background(),
 			Ingress: &laps.IngressConfig{},
 		}, "Addr to listen on"},
+		{"conn and conns", laps.RunConfig{
+			Context: context.Background(),
+			Ingress: &laps.IngressConfig{Conn: fakeConn{}, Conns: []net.PacketConn{fakeConn{}}},
+		}, "put the single socket in Conns"},
+		{"sockets with lone conn", laps.RunConfig{
+			Context: context.Background(),
+			Ingress: &laps.IngressConfig{Conn: fakeConn{}, Sockets: 4},
+		}, "a lone Conn cannot be joined"},
+		{"negative sockets", laps.RunConfig{
+			Context: context.Background(),
+			Ingress: &laps.IngressConfig{Addr: "127.0.0.1:0", Sockets: -1},
+		}, "Sockets must be >= 0"},
 		{"ingress in shadow mode", laps.RunConfig{
 			Ingress: ing,
 			Shadow:  &laps.SimConfig{},

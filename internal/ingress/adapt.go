@@ -1,0 +1,96 @@
+package ingress
+
+import "sync/atomic"
+
+// Adaptive-batch bounds: the recvmmsg vector never shrinks below
+// minAdaptVec (a short vector still amortises the syscall ~8x), the
+// fill window is adaptWindow receive batches, and the grow/shrink
+// thresholds are 3/4 and 1/4 of offered capacity. The thresholds are
+// deliberately far apart so a fill ratio oscillating around one of
+// them cannot make the vector thrash every window.
+const (
+	minAdaptVec     = 8
+	adaptWindow     = 32
+	defaultMaxBatch = 256
+)
+
+// vecAdapt sizes a receive vector from observed batch fill. One
+// goroutine (the socket reader) calls note; any goroutine may read the
+// counters — they are atomics so mid-run Stats snapshots never race
+// the reader.
+//
+// The controller is a windowed hysteresis loop: over adaptWindow
+// batches it accumulates datagrams received vs vector slots offered;
+// a window filled >= 3/4 doubles the vector (the kernel buffer is
+// backing up, amortise more datagrams per syscall), a window filled
+// < 1/4 halves it (traffic is light, stop offering — and touching —
+// buffers that stay empty). Between the thresholds the vector holds.
+type vecAdapt struct {
+	vec      atomic.Int64 // current vector length; reader writes, stats read
+	min, max int
+
+	winRecv    int // datagrams received this window
+	winOffered int // vector slots offered this window
+	winBatches int // receive batches this window
+
+	grows   atomic.Uint64
+	shrinks atomic.Uint64
+}
+
+// newVecAdapt builds a controller holding vec fixed when adaptive is
+// off (min == max == start) and ranging [min(minAdaptVec, start), max]
+// when on.
+func newVecAdapt(start, max int, adaptive bool) *vecAdapt {
+	a := &vecAdapt{min: start, max: start}
+	if adaptive {
+		a.min = minAdaptVec
+		if a.min > start {
+			a.min = start
+		}
+		a.max = max
+	}
+	a.vec.Store(int64(start))
+	return a
+}
+
+// cur is the vector length the next receive should offer.
+func (a *vecAdapt) cur() int { return int(a.vec.Load()) }
+
+// note records one receive batch: n datagrams arrived against a
+// vector of offered slots. Returns the (possibly resized) vector
+// length for the next receive.
+func (a *vecAdapt) note(n, offered int) int {
+	v := int(a.vec.Load())
+	if a.min == a.max {
+		return v // fixed-size mode: no window bookkeeping
+	}
+	a.winRecv += n
+	a.winOffered += offered
+	a.winBatches++
+	if a.winBatches < adaptWindow {
+		return v // window not full yet
+	}
+	recv, offer := a.winRecv, a.winOffered
+	a.winRecv, a.winOffered, a.winBatches = 0, 0, 0
+	switch {
+	case recv*4 >= offer*3: // >= 3/4 full: the socket is backing up
+		if v < a.max {
+			v *= 2
+			if v > a.max {
+				v = a.max
+			}
+			a.vec.Store(int64(v))
+			a.grows.Add(1)
+		}
+	case recv*4 < offer: // < 1/4 full: traffic is light
+		if v > a.min {
+			v /= 2
+			if v < a.min {
+				v = a.min
+			}
+			a.vec.Store(int64(v))
+			a.shrinks.Add(1)
+		}
+	}
+	return v
+}

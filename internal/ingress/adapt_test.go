@@ -1,0 +1,93 @@
+package ingress
+
+import "testing"
+
+// feedWindow drives one full adaptation window with every batch
+// carrying n datagrams against the current vector.
+func feedWindow(a *vecAdapt, n int) {
+	for i := 0; i < adaptWindow; i++ {
+		a.note(n, a.cur())
+	}
+}
+
+// TestVecAdaptFixedModeHolds pins that with AdaptiveBatch off the
+// vector never moves, no matter what fill it sees — the pre-adaptive
+// behavior stays the default.
+func TestVecAdaptFixedModeHolds(t *testing.T) {
+	a := newVecAdapt(32, 256, false)
+	feedWindow(a, 32) // every batch full
+	feedWindow(a, 0)  // every batch empty
+	if a.cur() != 32 {
+		t.Fatalf("fixed-mode vector moved to %d, want 32", a.cur())
+	}
+	if g, s := a.grows.Load(), a.shrinks.Load(); g != 0 || s != 0 {
+		t.Fatalf("fixed mode counted grows=%d shrinks=%d, want 0/0", g, s)
+	}
+}
+
+// TestVecAdaptGrowsToCap pins the grow path: windows of mostly-full
+// batches double the vector, one doubling per window, saturating at
+// MaxBatch.
+func TestVecAdaptGrowsToCap(t *testing.T) {
+	a := newVecAdapt(32, 256, true)
+	want := []int{64, 128, 256, 256}
+	for i, w := range want {
+		feedWindow(a, a.cur()) // full batches
+		if a.cur() != w {
+			t.Fatalf("after window %d: vector %d, want %d", i+1, a.cur(), w)
+		}
+	}
+	if g := a.grows.Load(); g != 3 {
+		t.Fatalf("grows = %d, want 3 (32→64→128→256)", g)
+	}
+}
+
+// TestVecAdaptShrinksToFloor pins the shrink path: windows of
+// mostly-empty batches halve the vector down to the minAdaptVec floor
+// and no further.
+func TestVecAdaptShrinksToFloor(t *testing.T) {
+	a := newVecAdapt(32, 256, true)
+	for i := 0; i < 4; i++ {
+		feedWindow(a, 0)
+	}
+	if a.cur() != minAdaptVec {
+		t.Fatalf("vector = %d, want floor %d", a.cur(), minAdaptVec)
+	}
+	if s := a.shrinks.Load(); s != 2 {
+		t.Fatalf("shrinks = %d, want 2 (32→16→8)", s)
+	}
+}
+
+// TestVecAdaptHoldsBetweenThresholds pins the hysteresis band: a fill
+// ratio between 1/4 and 3/4 moves nothing, so a vector sized roughly
+// right does not thrash.
+func TestVecAdaptHoldsBetweenThresholds(t *testing.T) {
+	a := newVecAdapt(32, 256, true)
+	feedWindow(a, 16) // exactly half full
+	if a.cur() != 32 {
+		t.Fatalf("half-full window moved the vector to %d, want 32", a.cur())
+	}
+}
+
+// TestVecAdaptFloorClampsToStart pins that a start below minAdaptVec
+// lowers the floor instead of silently growing the configured batch.
+func TestVecAdaptFloorClampsToStart(t *testing.T) {
+	a := newVecAdapt(4, 256, true)
+	feedWindow(a, 0)
+	if a.cur() != 4 {
+		t.Fatalf("vector shrank below its configured start: %d, want 4", a.cur())
+	}
+}
+
+// TestVecAdaptPartialWindowHolds pins that adaptation only acts on a
+// full window: fewer than adaptWindow batches — however full — change
+// nothing, so a short burst cannot resize the vector.
+func TestVecAdaptPartialWindowHolds(t *testing.T) {
+	a := newVecAdapt(32, 256, true)
+	for i := 0; i < adaptWindow-1; i++ {
+		a.note(a.cur(), a.cur())
+	}
+	if a.cur() != 32 {
+		t.Fatalf("partial window resized the vector to %d, want 32", a.cur())
+	}
+}

@@ -82,6 +82,81 @@ func TestIngressZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestGroupZeroAllocSteadyState extends the zero-alloc contract to the
+// parallel front door: a multi-socket Group — adaptive batching on,
+// dispatch hand-off serialized behind the group mutex — still moves a
+// datagram through receive, decode, prime, burst hand-off and pool
+// recycle without allocating. Locking an uncontended sync.Mutex and
+// resizing the receive vector must both stay off the heap.
+func TestGroupZeroAllocSteadyState(t *testing.T) {
+	conns, reuse, err := ListenGroup("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reuse {
+		for _, c := range conns {
+			c.Close()
+		}
+		t.Skip("SO_REUSEPORT unavailable; the single-listener guard already covers this platform")
+	}
+	pool := packet.NewPool()
+	var got atomic.Uint64
+	g, err := NewGroup(GroupConfig{
+		Conns:         conns,
+		AdaptiveBatch: true,
+		Pool:          pool,
+		BurstSink: func(ps []*packet.Packet) {
+			got.Add(uint64(len(ps)))
+			for _, p := range ps {
+				pool.Put(p)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(context.Background())
+
+	w, err := net.DialUDP("udp", nil, g.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const perDatagram = 32
+	recs := make([]Record, perDatagram)
+	for i := range recs {
+		recs[i] = Record{
+			Flow:    packet.FlowKey{SrcIP: uint32(i), DstIP: 0xcafe, SrcPort: 80, DstPort: uint16(i), Proto: packet.ProtoUDP},
+			Service: packet.ServiceID(i % packet.NumServices),
+			Size:    64,
+			Seq:     uint64(i),
+		}
+	}
+	dg := EncodeDatagram(nil, recs)
+
+	var want uint64
+	cycle := func() {
+		if _, err := w.Write(dg); err != nil {
+			t.Fatal(err)
+		}
+		want += perDatagram
+		for got.Load() < want {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(2000, cycle); avg != 0 {
+		t.Fatalf("group steady state allocates %.3f per datagram, want 0", avg)
+	}
+	st := g.Stop()
+	if st.Malformed != 0 {
+		t.Fatalf("%d datagrams misdecoded during the alloc run", st.Malformed)
+	}
+}
+
 // TestPortableReceiverAllocs pins the widened no-alloc receive path:
 // any conn providing ReadFromUDPAddrPort — not just *net.UDPConn —
 // receives without a per-datagram allocation.

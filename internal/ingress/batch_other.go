@@ -9,7 +9,7 @@ import (
 
 // newBatchReceiver picks the receive path for this platform. Without
 // recvmmsg, every platform gets the portable single-datagram loop.
-func newBatchReceiver(conn net.PacketConn, batch, maxDatagram int, stopping *atomic.Bool) (batchReceiver, error) {
-	_ = batch // the portable path has no receive vector to size
+func newBatchReceiver(conn net.PacketConn, adapt *vecAdapt, maxDatagram int, stopping *atomic.Bool) (batchReceiver, error) {
+	_ = adapt // the portable path has no receive vector to size
 	return newPortableReceiver(conn, maxDatagram, stopping), nil
 }

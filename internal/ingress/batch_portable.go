@@ -61,3 +61,7 @@ func (r *portableReceiver) buf(i int) []byte {
 	_ = i // always 0: this receiver reads one datagram per recv
 	return r.b[:r.n]
 }
+
+// offered is always 1: the portable path has no receive vector, so
+// every delivered batch reads as 100% full.
+func (r *portableReceiver) offered() int { return 1 }

@@ -95,3 +95,70 @@ func BenchmarkIngressLoopback(b *testing.B) {
 		b.Fatalf("%d malformed datagrams", st.Malformed)
 	}
 }
+
+// BenchmarkIngressGroupLoopback runs the same loopback measurement
+// through an ingress.Group — sub-benchmarks for 1 and 4 REUSEPORT
+// sockets, writers spread over distinct 4-tuples so the kernel hash
+// actually fans out. On a multi-core host the 4-socket case should
+// approach N× the single-socket rate; on a single-CPU host it mostly
+// prices the group's serialization overhead (see BENCH_ingress.json).
+func BenchmarkIngressGroupLoopback(b *testing.B) {
+	for _, sockets := range []int{1, 4} {
+		b.Run(map[int]string{1: "sockets=1", 4: "sockets=4"}[sockets], func(b *testing.B) {
+			conns, reuse, err := ListenGroup("127.0.0.1:0", sockets)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sockets > 1 && !reuse {
+				for _, c := range conns {
+					c.Close()
+				}
+				b.Skip("SO_REUSEPORT unavailable on this platform")
+			}
+			pool := packet.NewPool()
+			var got atomic.Uint64
+			g, err := NewGroup(GroupConfig{
+				Conns:         conns,
+				AdaptiveBatch: true,
+				Pool:          pool,
+				Sink:          func(p *packet.Packet) { got.Add(1); pool.Put(p) },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Start(context.Background())
+
+			const writers, perDatagram = 8, 32
+			ws := make([]*net.UDPConn, writers)
+			for i := range ws {
+				w, err := net.DialUDP("udp", nil, g.LocalAddr().(*net.UDPAddr))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer w.Close()
+				ws[i] = w
+			}
+			dg := EncodeDatagram(nil, benchRecords(perDatagram))
+			b.SetBytes(int64(len(dg)))
+			b.ResetTimer()
+			var sent uint64
+			for i := 0; sent < uint64(b.N)*perDatagram; i++ {
+				if _, err := ws[i%writers].Write(dg); err != nil {
+					b.Fatal(err)
+				}
+				sent += perDatagram
+				for sent > got.Load()+64*perDatagram {
+					runtime.Gosched()
+				}
+			}
+			for got.Load() < sent {
+				runtime.Gosched()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "pkts/s")
+			if st := g.Stop(); st.Malformed != 0 {
+				b.Fatalf("%d malformed datagrams", st.Malformed)
+			}
+		})
+	}
+}

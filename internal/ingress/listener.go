@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"laps/internal/crc"
+	"laps/internal/obs/telemetry"
 	"laps/internal/packet"
 	"laps/internal/sim"
 )
@@ -21,8 +22,33 @@ type Config struct {
 	// Stop closes it.
 	Conn net.PacketConn
 	// Batch is the number of datagrams read per receive batch (the
-	// recvmmsg vector length on Linux); 0 means 32.
+	// recvmmsg vector length on Linux); 0 means 32. With AdaptiveBatch
+	// it is the initial length.
 	Batch int
+	// AdaptiveBatch lets the receive vector grow and shrink with
+	// observed batch fill: a window of mostly-full batches doubles the
+	// vector (amortise more datagrams per syscall while the kernel
+	// buffer backs up), a window of mostly-empty ones halves it. Linux
+	// recvmmsg only; the portable one-datagram loop has no vector to
+	// size. See docs/INGRESS.md "Adaptive receive batching".
+	AdaptiveBatch bool
+	// MaxBatch caps the adaptive vector; 0 means 256 (clamped up to
+	// Batch). Ignored without AdaptiveBatch — receive buffers are
+	// preallocated for the cap, so the steady state stays 0 allocs/op.
+	MaxBatch int
+	// FillHist, when non-nil, records every receive batch's fill —
+	// datagrams received as a percentage of vector slots offered — into
+	// lane FillLane. Lanes are single-writer: a Group gives each socket
+	// its own lane.
+	FillHist *telemetry.Hist
+	// FillLane is this listener's FillHist lane.
+	FillLane int
+	// IDOffset and IDStride partition packet IDs between the listeners
+	// of a Group: listener i stamps IDOffset+IDStride, IDOffset+2*IDStride, ...
+	// so IDs stay unique across sockets and strictly increasing per
+	// socket. Zero values mean offset 0, stride 1 (the single-listener
+	// behavior).
+	IDOffset, IDStride uint64
 	// Pool supplies the decoded packet descriptors. Nil allocates per
 	// packet; wire the engine's pool in for a zero-alloc steady state.
 	Pool *packet.Pool
@@ -56,11 +82,25 @@ type Config struct {
 	DrainGrace time.Duration
 }
 
-// Stats are a Listener's receive-side counters.
+// Stats are a Listener's receive-side counters. A Group's Stats sum
+// the counters across its sockets (VectorLen and RcvBuf then report
+// the maximum and the first socket respectively — see Group.Stats).
 type Stats struct {
 	Datagrams uint64 // datagrams received
 	Packets   uint64 // records decoded and delivered to the sink
 	Malformed uint64 // datagrams rejected by the wire decoder
+
+	Batches      uint64 // receive batches that delivered >= 1 datagram
+	BatchGrows   uint64 // adaptive vector doublings
+	BatchShrinks uint64 // adaptive vector halvings
+	VectorLen    int    // receive vector length now (1 on the portable path)
+
+	// RcvBuf is the effective SO_RCVBUF in bytes, read back from the
+	// kernel after the ReadBuffer request — the kernel clamps requests
+	// to net.core.rmem_max and doubles the grant, so this is the number
+	// rcvbuf tuning must be verified against (docs/INGRESS.md). 0 when
+	// the socket exposes no raw descriptor to ask.
+	RcvBuf int
 }
 
 // batchReceiver abstracts the platform receive path: recvmmsg vectors
@@ -72,6 +112,17 @@ type Stats struct {
 type batchReceiver interface {
 	recv(onIdle func()) (int, error)
 	buf(i int) []byte
+	// offered is the number of vector slots the last recv put to the
+	// kernel (1 on the portable path) — the denominator of the batch
+	// fill ratio.
+	offered() int
+}
+
+// vectorStats is the optional receiver face for adaptive-vector
+// bookkeeping; only the Linux recvmmsg receiver has a vector to size.
+type vectorStats interface {
+	vectorLen() int
+	adaptCounts() (grows, shrinks uint64)
 }
 
 // Listener reads the LAPS wire format off one socket and feeds decoded,
@@ -87,15 +138,21 @@ type Listener struct {
 	bbuf  []*packet.Packet // burst staging, reused across datagrams
 	clock func() sim.Time
 	emitF func(Record) // pre-bound emit, so deliver never allocates a closure
+	fill  *telemetry.Hist
+	lane  int
 
-	start  time.Time
-	nextID uint64
+	start    time.Time
+	nextID   uint64
+	idStride uint64
+	rcvbuf   int // effective SO_RCVBUF, read back at construction
 
 	datagrams atomic.Uint64
 	packets   atomic.Uint64
 	malformed atomic.Uint64
+	batches   atomic.Uint64
 
 	stopping atomic.Bool
+	busy     atomic.Bool // reader is delivering (or flushing), not parked in recv
 	done     chan struct{}
 	err      error // reader exit cause (set before done closes); nil = clean
 
@@ -114,6 +171,15 @@ func New(cfg Config) (*Listener, error) {
 	if cfg.Batch <= 0 {
 		cfg.Batch = 32
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
+	if cfg.MaxBatch < cfg.Batch {
+		cfg.MaxBatch = cfg.Batch
+	}
+	if cfg.IDStride == 0 {
+		cfg.IDStride = 1
+	}
 	if cfg.DrainGrace <= 0 {
 		cfg.DrainGrace = 500 * time.Millisecond
 	}
@@ -125,13 +191,18 @@ func New(cfg Config) (*Listener, error) {
 		}
 	}
 	l := &Listener{
-		cfg:   cfg,
-		pool:  cfg.Pool,
-		sink:  cfg.Sink,
-		burst: cfg.BurstSink,
-		clock: cfg.Clock,
-		start: time.Now(),
-		done:  make(chan struct{}),
+		cfg:      cfg,
+		pool:     cfg.Pool,
+		sink:     cfg.Sink,
+		burst:    cfg.BurstSink,
+		clock:    cfg.Clock,
+		fill:     cfg.FillHist,
+		lane:     cfg.FillLane,
+		nextID:   cfg.IDOffset,
+		idStride: cfg.IDStride,
+		rcvbuf:   readBackRcvBuf(cfg.Conn),
+		start:    time.Now(),
+		done:     make(chan struct{}),
 	}
 	if l.burst != nil {
 		l.bbuf = make([]*packet.Packet, 0, MaxRecords)
@@ -140,7 +211,8 @@ func New(cfg Config) (*Listener, error) {
 		l.clock = func() sim.Time { return sim.Time(time.Since(l.start).Nanoseconds()) }
 	}
 	l.emitF = l.emit
-	rx, err := newBatchReceiver(cfg.Conn, cfg.Batch, MaxDatagram, &l.stopping)
+	adapt := newVecAdapt(cfg.Batch, cfg.MaxBatch, cfg.AdaptiveBatch)
+	rx, err := newBatchReceiver(cfg.Conn, adapt, MaxDatagram, &l.stopping)
 	if err != nil {
 		return nil, err
 	}
@@ -154,11 +226,19 @@ func (l *Listener) LocalAddr() net.Addr { return l.cfg.Conn.LocalAddr() }
 // Stats returns a consistent-enough snapshot of the receive counters;
 // safe from any goroutine mid-run.
 func (l *Listener) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Datagrams: l.datagrams.Load(),
 		Packets:   l.packets.Load(),
 		Malformed: l.malformed.Load(),
+		Batches:   l.batches.Load(),
+		VectorLen: 1,
+		RcvBuf:    l.rcvbuf,
 	}
+	if vs, ok := l.rx.(vectorStats); ok {
+		st.VectorLen = vs.vectorLen()
+		st.BatchGrows, st.BatchShrinks = vs.adaptCounts()
+	}
+	return st
 }
 
 // Datagrams, Packets and Malformed expose the counters individually for
@@ -196,11 +276,36 @@ var errWouldBlock = errors.New("ingress: would block")
 // exits the moment the kernel buffer is empty.
 func (l *Listener) run(ctx context.Context) {
 	defer close(l.done)
+	// The busy flag brackets every stretch where the reader is doing
+	// work outside the blocking receive — delivering a batch, or
+	// running the flush hook (which may block on a Group's dispatch
+	// mutex). drainByWatching reads it to tell "parked on an empty
+	// socket" from "wedged in the sink with datagrams still queued".
+	flush := l.cfg.Flush
+	if flush != nil {
+		inner := flush
+		flush = func() {
+			l.busy.Store(true)
+			inner()
+			l.busy.Store(false)
+		}
+	}
 	draining := false
 	for {
-		n, err := l.rx.recv(l.cfg.Flush)
+		n, err := l.rx.recv(flush)
+		if n > 0 {
+			l.busy.Store(true)
+			l.batches.Add(1)
+			// Batch fill as a percentage of offered vector slots — the
+			// signal adaptive batching steers on, exposed so a scrape
+			// shows whether the vector is sized to the traffic.
+			l.fill.Record(l.lane, int64(100*n/l.rx.offered()))
+		}
 		for i := 0; i < n; i++ {
 			l.deliver(l.rx.buf(i))
+		}
+		if n > 0 {
+			l.busy.Store(false)
 		}
 		if err != nil {
 			if l.stopping.Load() && !draining && errors.Is(err, os.ErrDeadlineExceeded) {
@@ -261,7 +366,7 @@ func (l *Listener) deliver(b []byte) {
 // it for the datagram's burst).
 func (l *Listener) emit(r Record) {
 	p := l.pool.Get()
-	l.nextID++
+	l.nextID += l.idStride
 	p.ID = l.nextID
 	p.Flow = r.Flow
 	p.Service = r.Service
@@ -332,8 +437,10 @@ func (l *Listener) pokeAndWait() bool {
 // with a read deadline. The reader blocks only when the kernel buffer
 // is empty, so progress on the datagram counter means queued data is
 // still flowing; Stop waits until a few consecutive polls see no
-// progress (buffer empty, reader parked in a blocking read) or the
-// DrainGrace ceiling passes, then lets Close force the reader out.
+// progress while the reader is parked in its blocking read (a stalled
+// counter with the busy flag up means the reader is wedged in the sink
+// with datagrams possibly still queued — that only times out at the
+// DrainGrace ceiling), then lets Close force the reader out.
 func (l *Listener) drainByWatching() {
 	const (
 		pollEvery = 2 * time.Millisecond
@@ -348,7 +455,7 @@ func (l *Listener) drainByWatching() {
 			return
 		case <-time.After(pollEvery):
 		}
-		if cur := l.datagrams.Load(); cur == last {
+		if cur := l.datagrams.Load(); cur == last && !l.busy.Load() {
 			idle++
 		} else {
 			idle, last = 0, cur

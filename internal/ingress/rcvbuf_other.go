@@ -1,0 +1,10 @@
+//go:build !unix
+
+package ingress
+
+import "net"
+
+// readBackRcvBuf reports 0 ("unknown") on platforms without a
+// getsockopt path in the stdlib syscall package; Stats.RcvBuf
+// documents 0 as "could not be read back".
+func readBackRcvBuf(conn net.PacketConn) int { return 0 }

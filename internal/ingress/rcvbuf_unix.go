@@ -1,0 +1,37 @@
+//go:build unix
+
+package ingress
+
+import (
+	"net"
+	"syscall"
+)
+
+// readBackRcvBuf asks the kernel what SO_RCVBUF actually is after the
+// listener's SetReadBuffer request: the kernel clamps the request to
+// net.core.rmem_max and (on Linux) doubles the granted value to cover
+// its own bookkeeping overhead, so the number the run *got* can differ
+// wildly from the number it *asked for* — silently. Surfacing the
+// effective size in Stats makes the rcvbuf tuning advice in
+// docs/INGRESS.md verifiable from the lapsd summary line. Returns 0
+// when the conn exposes no raw descriptor (wrapper conns in tests).
+func readBackRcvBuf(conn net.PacketConn) int {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return 0
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return 0
+	}
+	var (
+		size int
+		gerr error
+	)
+	if err := rc.Control(func(fd uintptr) {
+		size, gerr = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF)
+	}); err != nil || gerr != nil {
+		return 0
+	}
+	return size
+}

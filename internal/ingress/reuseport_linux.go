@@ -1,0 +1,69 @@
+//go:build linux
+
+package ingress
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT's option number, which the stdlib syscall
+// package does not export. 15 on every Linux ABI except the MIPS and
+// SPARC families, which kept the historic 0x200.
+func soReusePort() int {
+	switch runtime.GOARCH {
+	case "mips", "mipsle", "mips64", "mips64le", "sparc64":
+		return 0x200
+	}
+	return 0xf
+}
+
+// ListenGroup binds n UDP sockets to the same address with SO_REUSEPORT
+// set on each, so the kernel fans incoming datagrams out across them by
+// a hash of the 4-tuple: one source connection always lands on the same
+// socket, which is the property the parallel-ingress ordering argument
+// rests on (docs/INGRESS.md). Returns the sockets and whether REUSEPORT
+// was actually used — n <= 1 binds one plain socket. On a bind error
+// every already-bound socket is closed before returning.
+func ListenGroup(addr string, n int) ([]net.PacketConn, bool, error) {
+	if n <= 1 {
+		conn, err := net.ListenPacket("udp", addr)
+		if err != nil {
+			return nil, false, err
+		}
+		return []net.PacketConn{conn}, false, nil
+	}
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort(), 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	conns := make([]net.PacketConn, 0, n)
+	for i := 0; i < n; i++ {
+		// All sockets must bind the same concrete address: ":0" would
+		// hand each a different ephemeral port, so the first socket's
+		// resolved address is what the rest join.
+		if i == 1 {
+			addr = conns[0].LocalAddr().String()
+		}
+		conn, err := lc.ListenPacket(context.Background(), "udp", addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close() //nolint:errcheck // bind error unwind
+			}
+			return nil, false, fmt.Errorf("ingress: reuseport socket %d/%d: %w", i+1, n, err)
+		}
+		conns = append(conns, conn)
+	}
+	return conns, true, nil
+}

@@ -1,0 +1,20 @@
+//go:build !linux
+
+package ingress
+
+import "net"
+
+// ListenGroup on non-Linux platforms is the graceful single-socket
+// fallback: SO_REUSEPORT fan-out is only wired up for the Linux
+// kernel's 4-tuple-hash semantics, so a request for n sockets binds
+// one plain socket and reports reuseport=false. Callers surface the
+// fallback (lapsd prints sockets=1 reuseport=false) rather than
+// failing — a run still works, it just does not scale the receive
+// side.
+func ListenGroup(addr string, n int) ([]net.PacketConn, bool, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, false, err
+	}
+	return []net.PacketConn{conn}, false, nil
+}

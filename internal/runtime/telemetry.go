@@ -117,6 +117,17 @@ func registerEngineMetrics(reg *telemetry.Registry, e *Engine) {
 	reg.Counter("laps_reinjected_total", "Stranded packets re-dispatched by recovery.", e.reinjected.Load)
 	reg.Counter("laps_recovered_flows_total", "Flows remapped off dead workers.", e.recovered.Load)
 	reg.Counter("laps_forced_releases_total", "Fences force-released against undrainable workers.", e.forced.Load)
+	// Bounded-memory (docs/SCALE.md) counters. The tracker sums are
+	// mutex-guarded per shard, so scraping them mid-run is safe.
+	reg.Counter("laps_estimated_ooo_total",
+		"Out-of-order departures flagged by the sketch estimator; a subset of laps_ooo_total, 0 in exact mode.",
+		e.tracker.estimatedOOO)
+	reg.Counter("laps_flow_budget_hits_total",
+		"Flow-budget degrade events: reorder tracking crossing exact to sketch, plus coarse-fence migrations.",
+		func() uint64 { return e.tracker.budgetHits() + e.budgetHits.Load() })
+	reg.Counter("laps_evicted_flows_total",
+		"Per-flow reorder watermarks evicted to stay inside the flow budget.",
+		e.tracker.evicted)
 	reg.Gauge("laps_max_fence_hold_seconds", "Longest drain-fence hold so far.", func() float64 {
 		return float64(e.maxFenceHold.Load()) * 1e-9
 	})
@@ -226,6 +237,23 @@ func registerShardedMetrics(reg *telemetry.Registry, e *Sharded) {
 		}
 		return n
 	})
+	// Bounded-memory (docs/SCALE.md) counters; mutex-guarded tracker
+	// sums plus per-shard atomics, safe to scrape mid-run.
+	reg.Counter("laps_estimated_ooo_total",
+		"Out-of-order departures flagged by the sketch estimator; a subset of laps_ooo_total, 0 in exact mode.",
+		e.tracker.estimatedOOO)
+	reg.Counter("laps_flow_budget_hits_total",
+		"Flow-budget degrade events: reorder tracking crossing exact to sketch, plus coarse-fence migrations.",
+		func() uint64 {
+			n := e.tracker.budgetHits()
+			for _, sh := range e.shards {
+				n += sh.budgetHits.Load()
+			}
+			return n
+		})
+	reg.Counter("laps_evicted_flows_total",
+		"Per-flow reorder watermarks evicted to stay inside the flow budget.",
+		e.tracker.evicted)
 	reg.Counter("laps_snapshots_total", "Forwarding views published by the control plane.", e.snapshots.Load)
 	reg.Counter("laps_feedback_dropped_total", "Sampled observations lost to full feedback channels.", func() uint64 {
 		var n uint64

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"laps/internal/ingress"
@@ -197,19 +198,42 @@ type RunConfig struct {
 // IngressConfig opens the UDP front door for Run (RunConfig.Ingress).
 type IngressConfig struct {
 	// Addr is the UDP listen address ("host:port"; ":0" picks a free
-	// port, reported in RunResult.IngressAddr). Ignored when Conn is
-	// set.
+	// port, reported in RunResult.IngressAddr). Ignored when Conn or
+	// Conns is set.
 	Addr string
 	// Conn is an already-bound socket to read instead of Addr (tests
 	// bind ":0" themselves to learn the port before the run). Run takes
-	// ownership and closes it at the end of the run.
+	// ownership and closes it at the end of the run. Mutually exclusive
+	// with Conns and with Sockets > 1.
 	Conn net.PacketConn
+	// Conns is an already-bound SO_REUSEPORT socket group to read
+	// instead of Addr (lapsd binds via ingress.ListenGroup up front so
+	// the address prints before traffic). Run takes ownership of every
+	// socket.
+	Conns []net.PacketConn
+	// Sockets is how many SO_REUSEPORT listeners to bind on Addr, each
+	// with its own reader goroutine and receive vector — the parallel
+	// front door (docs/INGRESS.md "Parallel ingress"). The kernel's
+	// REUSEPORT hash pins each sender 4-tuple to one socket, so
+	// per-flow FIFO survives the fan-out. <= 1 binds one plain socket;
+	// on non-Linux platforms a request for more falls back to one
+	// (RunResult.IngressSockets reports what actually ran).
+	Sockets int
 	// Batch is the number of datagrams per receive batch (the recvmmsg
-	// vector length on Linux); 0 means 32.
+	// vector length on Linux); 0 means 32. With AdaptiveBatch it is the
+	// initial length.
 	Batch int
+	// AdaptiveBatch grows and shrinks each socket's receive vector with
+	// observed batch fill (Linux recvmmsg only): mostly-full windows
+	// double it up to MaxBatch, mostly-empty ones halve it. Fill ratios
+	// are exposed as the laps_ingress_batch_fill_percent histogram.
+	AdaptiveBatch bool
+	// MaxBatch caps the adaptive vector; 0 means 256.
+	MaxBatch int
 	// ReadBuffer resizes the socket's kernel receive buffer (SO_RCVBUF)
 	// when positive. The kernel clamps the request to net.core.rmem_max;
-	// see docs/INGRESS.md for sizing.
+	// the effective size is read back into IngressStats.RcvBuf — see
+	// docs/INGRESS.md for sizing.
 	ReadBuffer int
 	// DrainGrace bounds how long shutdown keeps reading to drain
 	// datagrams already queued in the kernel buffer; 0 means 500ms.
@@ -241,12 +265,18 @@ type RunResult struct {
 	// when no server was requested.
 	AdminAddr string
 	// Ingress is non-nil when the run was fed by the UDP front door:
-	// its datagram/decode counters. Generated then counts decoded
-	// packets, so Generated - Live.Dispatched is always zero and
-	// sender-side loss is measured as sent - Generated.
+	// its datagram/decode counters, aggregated across sockets.
+	// Generated then counts decoded packets, so Generated -
+	// Live.Dispatched is always zero and sender-side loss is measured
+	// as sent - Generated.
 	Ingress *IngressStats
-	// IngressAddr is the front door's bound "host:port", empty when
-	// RunConfig.Ingress was nil.
+	// IngressSockets holds each front-door socket's own counters
+	// (index = socket), so a multi-socket run shows how the kernel's
+	// REUSEPORT hash spread the load. len 1 for single-socket runs, nil
+	// when RunConfig.Ingress was nil.
+	IngressSockets []IngressStats
+	// IngressAddr is the front door's bound "host:port" (shared by all
+	// sockets), empty when RunConfig.Ingress was nil.
 	IngressAddr string
 }
 
@@ -309,8 +339,17 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 		if cfg.Pace != 0 {
 			return nil, fmt.Errorf("laps: Pace paces the virtual-clock replay; ingress packets already arrive on the wall clock")
 		}
-		if cfg.Ingress.Conn == nil && cfg.Ingress.Addr == "" {
+		if cfg.Ingress.Conn == nil && len(cfg.Ingress.Conns) == 0 && cfg.Ingress.Addr == "" {
 			return nil, fmt.Errorf("laps: Ingress needs an Addr to listen on or an already-bound Conn")
+		}
+		if cfg.Ingress.Conn != nil && len(cfg.Ingress.Conns) > 0 {
+			return nil, fmt.Errorf("laps: Ingress.Conn and Ingress.Conns are mutually exclusive; put the single socket in Conns")
+		}
+		if cfg.Ingress.Conn != nil && cfg.Ingress.Sockets > 1 {
+			return nil, fmt.Errorf("laps: Ingress.Sockets needs Addr (Run binds the REUSEPORT group itself) or a pre-bound group in Conns; a lone Conn cannot be joined")
+		}
+		if cfg.Ingress.Sockets < 0 {
+			return nil, fmt.Errorf("laps: Ingress.Sockets must be >= 0, got %d", cfg.Ingress.Sockets)
 		}
 		if cfg.Duration == 0 && cfg.Context == nil {
 			return nil, fmt.Errorf("laps: an ingress run needs a positive Duration or a cancellable Context to end")
@@ -496,27 +535,24 @@ func runLive(cfg RunConfig) (*RunResult, error) {
 }
 
 // runIngress drives the live engine from the UDP front door instead of
-// the virtual-clock arrival process: the socket-reader goroutine decodes
-// datagrams and feeds each one's packets to the dispatcher as a single
-// burst until the context is cancelled or the wall-clock Duration
-// elapses, then the listener drains the kernel buffer (bounded by
-// DrainGrace) and the engine drains its rings.
+// the virtual-clock arrival process: socket-reader goroutines (one per
+// SO_REUSEPORT socket) decode datagrams and feed each one's packets to
+// the dispatcher as a single burst until the context is cancelled or
+// the wall-clock Duration elapses, then the group drains the kernel
+// buffers (bounded by DrainGrace) and the engine drains its rings.
 func runIngress(cfg RunConfig, ctx context.Context, reg *MetricsRegistry, adminAddr string,
 	scheduler npsim.Scheduler, pool *packet.Pool,
 	start func(context.Context), feedBurst func([]*packet.Packet), flush func(), stop func() *rt.Result,
 ) (*RunResult, error) {
 	ic := cfg.Ingress
-	conn := ic.Conn
-	if conn == nil {
-		var err error
-		if conn, err = net.ListenPacket("udp", ic.Addr); err != nil {
-			return nil, fmt.Errorf("laps: ingress listen: %w", err)
-		}
+	conns := ic.Conns
+	if ic.Conn != nil {
+		conns = []net.PacketConn{ic.Conn}
 	}
 	sink := feedBurst
 	if cfg.Context != nil {
 		// A cancelled run must not keep dispatching what the drain reads
-		// out of the kernel buffer: recycle those packets instead.
+		// out of the kernel buffers: recycle those packets instead.
 		sink = func(ps []*packet.Packet) {
 			if ctx.Err() != nil {
 				for _, p := range ps {
@@ -527,29 +563,52 @@ func runIngress(cfg RunConfig, ctx context.Context, reg *MetricsRegistry, adminA
 			feedBurst(ps)
 		}
 	}
-	lst, err := ingress.New(ingress.Config{
-		Conn:       conn,
-		Batch:      ic.Batch,
-		Pool:       pool,
-		BurstSink:  sink,
-		Flush:      flush,
-		ReadBuffer: ic.ReadBuffer,
-		DrainGrace: ic.DrainGrace,
+	// The fill histogram needs a lane per socket before the group
+	// resolves how many it actually got; lanes beyond the resolved
+	// count just stay empty (the non-Linux fallback).
+	var fill *telemetry.Hist
+	lanes := len(conns)
+	if lanes == 0 {
+		lanes = ic.Sockets
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	if reg != nil {
+		fill = reg.NewHist(telemetry.HistOpts{
+			Name: "laps_ingress_batch_fill_percent",
+			Help: "Receive-batch fill: datagrams received per batch as a percentage of vector slots offered.",
+			MinExp: 0, MaxExp: 7, Lanes: lanes,
+		})
+	}
+	grp, err := ingress.NewGroup(ingress.GroupConfig{
+		Addr:          ic.Addr,
+		Conns:         conns,
+		Sockets:       ic.Sockets,
+		Batch:         ic.Batch,
+		AdaptiveBatch: ic.AdaptiveBatch,
+		MaxBatch:      ic.MaxBatch,
+		Pool:          pool,
+		BurstSink:     sink,
+		Flush:         flush,
+		ReadBuffer:    ic.ReadBuffer,
+		DrainGrace:    ic.DrainGrace,
+		FillHist:      fill,
 	})
 	if err != nil {
-		conn.Close() //nolint:errcheck // bind error path
-		return nil, err
+		return nil, fmt.Errorf("laps: ingress listen: %w", err)
 	}
 	if reg != nil {
 		reg.Counter("laps_ingress_datagrams_total",
-			"Datagrams received by the UDP front door.", lst.Datagrams)
+			"Datagrams received by the UDP front door.", grp.Datagrams)
 		reg.Counter("laps_ingress_packets_total",
-			"Wire records decoded and fed to the dispatcher.", lst.Packets)
+			"Wire records decoded and fed to the dispatcher.", grp.Packets)
 		reg.Counter("laps_ingress_malformed_total",
-			"Datagrams rejected by the wire decoder.", lst.Malformed)
+			"Datagrams rejected by the wire decoder.", grp.Malformed)
+		registerIngressSocketMetrics(reg, grp)
 	}
 	start(ctx)
-	lst.Start(ctx)
+	grp.Start(ctx)
 	var timeout <-chan time.Time
 	if cfg.Duration > 0 {
 		t := time.NewTimer(time.Duration(cfg.Duration))
@@ -560,28 +619,65 @@ func runIngress(cfg RunConfig, ctx context.Context, reg *MetricsRegistry, adminA
 	case <-ctx.Done():
 	case <-timeout:
 	}
-	// Teardown order matters: the listener stops (and drains) first so
-	// the feeding goroutine is quiet before the engine drains its rings.
-	st := lst.Stop()
+	// Teardown order matters: the sockets stop (and drain) first so
+	// the feeding goroutines are quiet before the engine drains its
+	// rings.
+	st := grp.Stop()
 	stats := stop()
-	if err := lst.Err(); err != nil {
+	if err := grp.Err(); err != nil {
 		return nil, fmt.Errorf("laps: ingress receive: %w", err)
 	}
 
 	res := &RunResult{
-		Live:        *stats,
-		Generated:   st.Packets,
-		Scheduler:   scheduler.Name(),
-		Metrics:     reg,
-		AdminAddr:   adminAddr,
-		Ingress:     &st,
-		IngressAddr: lst.LocalAddr().String(),
+		Live:           *stats,
+		Generated:      st.Packets,
+		Scheduler:      scheduler.Name(),
+		Metrics:        reg,
+		AdminAddr:      adminAddr,
+		Ingress:        &st,
+		IngressSockets: grp.SocketStats(),
+		IngressAddr:    grp.LocalAddr().String(),
 	}
 	if l := lapsOf(scheduler); l != nil {
 		ls := l.Stats()
 		res.LapsStats = &ls
 	}
 	return res, nil
+}
+
+// registerIngressSocketMetrics wires the per-socket receive families:
+// datagram/packet counters so a scrape shows how the REUSEPORT hash
+// spread senders, and the adaptive-batch counters and gauges that make
+// vector sizing observable. Labels are socket="i".
+func registerIngressSocketMetrics(reg *MetricsRegistry, grp *ingress.Group) {
+	for i, l := range grp.Listeners() {
+		l := l
+		lbl := `socket="` + strconv.Itoa(i) + `"`
+		reg.CounterL("laps_ingress_socket_datagrams_total", lbl,
+			"Datagrams received, per REUSEPORT socket.", l.Datagrams)
+		reg.CounterL("laps_ingress_socket_packets_total", lbl,
+			"Wire records decoded, per REUSEPORT socket.", l.Packets)
+		reg.CounterL("laps_ingress_batches_total", lbl,
+			"Receive batches that delivered at least one datagram.", func() uint64 {
+				return l.Stats().Batches
+			})
+		reg.CounterL("laps_ingress_batch_grows_total", lbl,
+			"Adaptive receive-vector doublings.", func() uint64 {
+				return l.Stats().BatchGrows
+			})
+		reg.CounterL("laps_ingress_batch_shrinks_total", lbl,
+			"Adaptive receive-vector halvings.", func() uint64 {
+				return l.Stats().BatchShrinks
+			})
+		reg.GaugeL("laps_ingress_vector_length", lbl,
+			"Current receive-vector length (datagrams per recvmmsg).", func() float64 {
+				return float64(l.Stats().VectorLen)
+			})
+		reg.GaugeL("laps_ingress_rcvbuf_bytes", lbl,
+			"Effective SO_RCVBUF read back from the kernel (0 = unknown).", func() float64 {
+				return float64(l.Stats().RcvBuf)
+			})
+	}
 }
 
 // runShadow is conformance mode: the full simulation stack runs
